@@ -1,0 +1,20 @@
+//! # netsim-asdb
+//!
+//! A small autonomous-system / address-registry substrate.
+//!
+//! Table 6 of the paper attributes `IP`-cause redundant connections to the
+//! autonomous systems hosting the involved origins (GOOGLE, AMAZON-02,
+//! FACEBOOK, …). The real study maps destination IPs to ASes with a routing
+//! table snapshot; the simulation instead *allocates* addresses from
+//! AS-labelled prefixes in the first place and keeps the mapping here, so the
+//! attribution code can do the same IP → AS lookup the paper does.
+//!
+//! * [`registry`] — prefix allocation and longest-prefix IP → AS lookup,
+//! * [`catalog`] — the well-known ASes of Table 6 plus generic hosting/cloud
+//!   ASes used for the long tail of small sites.
+
+pub mod catalog;
+pub mod registry;
+
+pub use catalog::{well_known, AsCatalog};
+pub use registry::{AsRegistry, Asn, AutonomousSystem};

@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the substrates everything else is built on: DNS
+//! resolution, the reuse predicate, HTTP/2 frame codec, HPACK, population
+//! generation and single page loads.
+
+use connreuse_bench::{bench_environment, BENCH_SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim_browser::{Browser, BrowserConfig};
+use netsim_dns::{RecursiveResolver, ResolverConfig, ResolverId, Vantage};
+use netsim_h2::hpack::HpackContext;
+use netsim_h2::reuse::{evaluate, ReusePolicy};
+use netsim_h2::{Connection, Frame, OriginEntry, Settings, StreamId};
+use netsim_tls::{CertificateStore, IssuancePolicy, Issuer};
+use netsim_types::{ConnectionId, DomainName, Instant, IpAddr, Origin, SimClock, SimRng};
+use netsim_web::{PopulationBuilder, PopulationProfile};
+use std::hint::black_box;
+
+fn bench_dns_resolution(c: &mut Criterion) {
+    let env = bench_environment();
+    let analytics = DomainName::literal("www.google-analytics.com");
+    let mut group = c.benchmark_group("substrate_dns");
+    group.sample_size(50);
+    group.bench_function("resolve_cold", |b| {
+        b.iter(|| {
+            let mut resolver =
+                RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
+            black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap())
+        })
+    });
+    group.bench_function("resolve_cached", |b| {
+        let mut resolver = RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
+        resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap();
+        b.iter(|| black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_reuse_predicate(c: &mut Criterion) {
+    let mut store = CertificateStore::new();
+    let domains: Vec<DomainName> = (0..50).map(|i| DomainName::literal(&format!("host-{i}.example.com"))).collect();
+    let ids = store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
+    let certificate = store.get(ids[0]).unwrap().clone();
+    let connection = Connection::establish(
+        ConnectionId(1),
+        Origin::https(domains[0].clone()),
+        IpAddr::new(10, 0, 0, 1),
+        certificate,
+        true,
+        Instant::EPOCH,
+        Settings::default(),
+    );
+    let target = Origin::https(domains[49].clone());
+    let mut group = c.benchmark_group("substrate_reuse_predicate");
+    group.sample_size(100);
+    group.bench_function("evaluate_match", |b| {
+        b.iter(|| {
+            black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 1), true, &ReusePolicy::chromium()))
+        })
+    });
+    group.bench_function("evaluate_mismatch", |b| {
+        b.iter(|| {
+            black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 9), false, &ReusePolicy::chromium()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_h2_frames_and_hpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_h2");
+    group.sample_size(100);
+    let origin_frame = Frame::Origin {
+        origins: (0..20)
+            .map(|i| OriginEntry::https(&DomainName::literal(&format!("shard-{i}.example.com"))))
+            .collect(),
+    };
+    group.bench_function("origin_frame_roundtrip", |b| {
+        b.iter(|| {
+            let mut wire = origin_frame.encode();
+            black_box(Frame::decode(&mut wire).unwrap())
+        })
+    });
+    let headers_frame = Frame::Headers { stream: StreamId::new(1), block: vec![0x82; 64], end_stream: true };
+    group.bench_function("headers_frame_roundtrip", |b| {
+        b.iter(|| {
+            let mut wire = headers_frame.encode();
+            black_box(Frame::decode(&mut wire).unwrap())
+        })
+    });
+    let request = HpackContext::request_headers("www.example.com", "/assets/app.js", Some("sid=abc"));
+    group.bench_function("hpack_encode_warm", |b| {
+        let mut ctx = HpackContext::default();
+        ctx.encode_block_size(&request);
+        b.iter(|| black_box(ctx.encode_block_size(&request)))
+    });
+    group.finish();
+}
+
+fn bench_population_and_page_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_population_browser");
+    group.sample_size(10);
+    group.bench_function("build_population_120_sites", |b| {
+        b.iter(|| black_box(PopulationBuilder::new(PopulationProfile::alexa(), 120, BENCH_SEED).build()))
+    });
+    let env = bench_environment();
+    group.bench_function("load_single_page", |b| {
+        b.iter(|| {
+            let mut browser = Browser::new(BrowserConfig::alexa_measurement());
+            let mut clock = SimClock::new();
+            let mut rng = SimRng::new(BENCH_SEED);
+            black_box(browser.load_page(&env, &env.sites[0], &mut clock, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_dns_resolution,
+    bench_reuse_predicate,
+    bench_h2_frames_and_hpack,
+    bench_population_and_page_load
+);
+criterion_main!(substrates);

@@ -1,0 +1,51 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every bench group works on the same small, deterministic fixture so that
+//! run-to-run numbers are comparable: a bench-sized population per profile,
+//! the corresponding crawls, and their ingested datasets.
+
+use connreuse_core::{dataset_from_crawl, Dataset};
+use netsim_browser::{BrowserConfig, Crawler};
+use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};
+
+/// Number of sites in the bench populations (kept small so `cargo bench`
+/// finishes quickly while still exercising every code path).
+pub const BENCH_SITES: usize = 120;
+
+/// Seed used by all bench fixtures.
+pub const BENCH_SEED: u64 = 0xC0FFEE;
+
+/// Build the bench-sized Alexa-profile population.
+pub fn bench_environment() -> WebEnvironment {
+    PopulationBuilder::new(PopulationProfile::alexa(), BENCH_SITES, BENCH_SEED).build()
+}
+
+/// Build the bench-sized archive-profile population.
+pub fn bench_archive_environment() -> WebEnvironment {
+    PopulationBuilder::new(PopulationProfile::archive(), BENCH_SITES, BENCH_SEED + 1).build()
+}
+
+/// Crawl an environment with the given configuration and ingest the result.
+pub fn crawl_dataset(env: &WebEnvironment, label: &str, config: BrowserConfig) -> Dataset {
+    let report = Crawler::new(label, config, BENCH_SEED).crawl(env);
+    dataset_from_crawl(&report)
+}
+
+/// The stock-Chromium crawl of the bench population.
+pub fn bench_dataset(env: &WebEnvironment) -> Dataset {
+    crawl_dataset(env, "bench", BrowserConfig::alexa_measurement())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let env = bench_environment();
+        assert_eq!(env.site_count(), BENCH_SITES);
+        let dataset = bench_dataset(&env);
+        assert_eq!(dataset.sites.len(), BENCH_SITES);
+        assert!(dataset.total_connections() > BENCH_SITES);
+    }
+}

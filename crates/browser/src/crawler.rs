@@ -1,0 +1,171 @@
+//! The Browsertime stand-in: crawl a whole population.
+//!
+//! The paper's own measurement visits the Alexa Top 100k once per
+//! configuration; the HTTP Archive visits millions of sites. The crawler
+//! walks every site of a generated population with a given browser
+//! configuration, spacing visits in simulated time (which matters because
+//! DNS load-balancer assignments drift across epochs) and producing the
+//! [`PageVisit`] dataset the analysis core ingests. Visits are independent of
+//! each other, so they can run on several threads without changing results.
+
+use crate::config::BrowserConfig;
+use crate::loader::Browser;
+use crate::visit::PageVisit;
+use netsim_types::{Duration, Instant, SimClock, SimRng};
+use netsim_web::WebEnvironment;
+use serde::{Deserialize, Serialize};
+
+/// Identifier spacing between sites so connection/request ids never collide
+/// across visits.
+const ID_STRIDE: u64 = 1_000_000;
+
+/// The result of crawling a population.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrawlReport {
+    /// Name of the browser configuration used (for report headings).
+    pub label: String,
+    /// One visit per reachable site, in site order.
+    pub visits: Vec<PageVisit>,
+}
+
+impl CrawlReport {
+    /// Number of visited sites.
+    pub fn site_count(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Total connections opened across all visits.
+    pub fn total_connections(&self) -> usize {
+        self.visits.iter().map(|v| v.connection_count()).sum()
+    }
+
+    /// Total requests sent across all visits.
+    pub fn total_requests(&self) -> usize {
+        self.visits.iter().map(|v| v.request_count()).sum()
+    }
+}
+
+/// Crawls every site of a population with one browser configuration.
+#[derive(Clone, Debug)]
+pub struct Crawler {
+    config: BrowserConfig,
+    label: String,
+    seed: u64,
+    threads: usize,
+}
+
+impl Crawler {
+    /// A crawler with the given configuration and seed.
+    pub fn new(label: &str, config: BrowserConfig, seed: u64) -> Self {
+        Crawler { config, label: label.to_string(), seed, threads: 1 }
+    }
+
+    /// Use up to `threads` worker threads (visits stay deterministic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The browser configuration.
+    pub fn config(&self) -> &BrowserConfig {
+        &self.config
+    }
+
+    /// Visit every site of `env`.
+    pub fn crawl(&self, env: &WebEnvironment) -> CrawlReport {
+        let site_count = env.sites.len();
+        let mut visits: Vec<Option<PageVisit>> = Vec::new();
+        visits.resize_with(site_count, || None);
+
+        if self.threads <= 1 || site_count < 2 {
+            for index in 0..site_count {
+                visits[index] = Some(self.visit_site(env, index));
+            }
+        } else {
+            let threads = self.threads.min(site_count);
+            let chunk = site_count.div_ceil(threads);
+            let chunks: Vec<&mut [Option<PageVisit>]> = visits.chunks_mut(chunk).collect();
+            std::thread::scope(|scope| {
+                for (chunk_index, slot) in chunks.into_iter().enumerate() {
+                    let start = chunk_index * chunk;
+                    scope.spawn(move || {
+                        for (offset, out) in slot.iter_mut().enumerate() {
+                            *out = Some(self.visit_site(env, start + offset));
+                        }
+                    });
+                }
+            });
+        }
+
+        CrawlReport {
+            label: self.label.clone(),
+            visits: visits.into_iter().map(|v| v.expect("every site visited")).collect(),
+        }
+    }
+
+    /// Visit one site at its slot in the crawl timeline.
+    pub fn visit_site(&self, env: &WebEnvironment, index: usize) -> PageVisit {
+        let start = Instant::EPOCH + Duration::from_secs(self.config.visit_spacing_secs * index as u64);
+        let mut clock = SimClock::starting_at(start);
+        let mut browser = Browser::with_id_base(self.config.clone(), index as u64 * ID_STRIDE);
+        let mut rng = SimRng::new(self.seed).fork_indexed("visit", index as u64);
+        browser.load_page(env, &env.sites[index], &mut clock, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_web::{PopulationBuilder, PopulationProfile};
+
+    fn env(sites: usize) -> WebEnvironment {
+        PopulationBuilder::new(PopulationProfile::archive(), sites, 77).build()
+    }
+
+    #[test]
+    fn crawl_visits_every_site_once() {
+        let environment = env(25);
+        let report = Crawler::new("archive", BrowserConfig::http_archive_crawler(), 1).crawl(&environment);
+        assert_eq!(report.site_count(), 25);
+        assert_eq!(report.label, "archive");
+        assert!(report.total_requests() >= 25);
+        assert!(report.total_connections() >= 25);
+        for (index, visit) in report.visits.iter().enumerate() {
+            assert_eq!(visit.site.value(), index as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_crawl_matches_sequential() {
+        let environment = env(16);
+        let sequential = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 9).crawl(&environment);
+        let parallel = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 9)
+            .with_threads(4)
+            .crawl(&environment);
+        assert_eq!(sequential.total_connections(), parallel.total_connections());
+        assert_eq!(sequential.total_requests(), parallel.total_requests());
+        for (a, b) in sequential.visits.iter().zip(parallel.visits.iter()) {
+            assert_eq!(a.requests, b.requests);
+        }
+    }
+
+    #[test]
+    fn connection_ids_are_unique_across_the_crawl() {
+        let environment = env(12);
+        let report = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 2).crawl(&environment);
+        let mut ids = std::collections::BTreeSet::new();
+        for visit in &report.visits {
+            for connection in &visit.connections {
+                assert!(ids.insert(connection.id), "duplicate connection id {}", connection.id);
+            }
+        }
+    }
+
+    #[test]
+    fn visit_spacing_staggers_start_times() {
+        let environment = env(3);
+        let report = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 3).crawl(&environment);
+        assert!(report.visits[0].started_at < report.visits[1].started_at);
+        assert!(report.visits[1].started_at < report.visits[2].started_at);
+    }
+}

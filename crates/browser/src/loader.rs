@@ -1,0 +1,482 @@
+//! The page loader: Chromium's session pool + coalescing + Fetch partition.
+
+use crate::config::{BrowserConfig, ConnectionDurationModel};
+use crate::netlog::{NetLog, NetLogEventKind};
+use crate::visit::{PageVisit, RequestLogEntry};
+use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
+use netsim_fetch::{includes_credentials, FetchRequest};
+use netsim_h2::reuse::{evaluate, ReuseDecision};
+use netsim_h2::{Connection, Settings};
+use netsim_types::{ConnectionId, Duration, IdAllocator, Instant, Origin, RequestId, SimClock, SimRng};
+use netsim_web::{PlannedRequest, WebEnvironment, Website};
+
+/// A browser instance. One instance is used per page visit (caches are reset
+/// between visits, per the measurement methodology); identifier allocators
+/// are seeded externally so ids stay unique across a whole crawl.
+#[derive(Debug)]
+pub struct Browser {
+    config: BrowserConfig,
+    connection_ids: IdAllocator,
+    request_ids: IdAllocator,
+}
+
+impl Browser {
+    /// A browser with id allocators starting at zero.
+    pub fn new(config: BrowserConfig) -> Self {
+        Browser { config, connection_ids: IdAllocator::new(), request_ids: IdAllocator::new() }
+    }
+
+    /// A browser whose connection/request ids start at `id_base` (used by the
+    /// crawler to keep ids globally unique across parallel visits).
+    pub fn with_id_base(config: BrowserConfig, id_base: u64) -> Self {
+        Browser {
+            config,
+            connection_ids: IdAllocator::starting_at(id_base),
+            request_ids: IdAllocator::starting_at(id_base),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BrowserConfig {
+        &self.config
+    }
+
+    /// Load one site's landing page against the given environment.
+    ///
+    /// `clock` supplies (and is advanced past) the simulated wall-clock time
+    /// of the visit; `rng` drives connection-lifetime sampling.
+    pub fn load_page(
+        &mut self,
+        env: &WebEnvironment,
+        site: &Website,
+        clock: &mut SimClock,
+        rng: &mut SimRng,
+    ) -> PageVisit {
+        let started_at = clock.now();
+        let deadline = started_at + self.config.page_timeout;
+        let mut netlog = NetLog::new();
+        netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain.clone() });
+
+        // Fresh resolver per visit: browser and OS caches are reset between
+        // visits, so only in-visit reuse of DNS answers happens.
+        let mut resolver = RecursiveResolver::new(ResolverConfig::new(
+            self.config.resolver,
+            self.config.vantage,
+            "measurement-resolver",
+        ));
+
+        let document_origin = Origin::https(site.domain.clone());
+        let rtt = Duration::from_millis(self.config.base_rtt_ms);
+        let mut connections: Vec<Connection> = Vec::new();
+        let mut requests: Vec<RequestLogEntry> = Vec::new();
+        let mut finished_at = started_at;
+
+        for planned in &site.plan {
+            if clock.now() > deadline {
+                break;
+            }
+            let outcome = self.fetch_one(
+                env,
+                &mut resolver,
+                &document_origin,
+                planned,
+                &mut connections,
+                clock,
+                &mut netlog,
+                rtt,
+            );
+            if let Some(entry) = outcome {
+                finished_at = finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
+                requests.push(entry);
+            }
+        }
+
+        // Assign connection end times according to the duration model.
+        if let ConnectionDurationModel::IdleTimeouts { close_probability, median_lifetime_secs } =
+            self.config.duration_model
+        {
+            for connection in &mut connections {
+                if rng.chance(close_probability) {
+                    let factor = 0.5 + rng.unit() * 1.5; // 0.5x .. 2.0x the median
+                    let lifetime = Duration::from_millis((median_lifetime_secs as f64 * 1000.0 * factor) as u64);
+                    let closed_at = connection.established_at + lifetime;
+                    connection.close(closed_at);
+                    netlog.record(closed_at, NetLogEventKind::ConnectionClosed { connection: connection.id });
+                }
+            }
+        }
+
+        netlog.record(finished_at, NetLogEventKind::PageLoadFinished { requests: requests.len() });
+        PageVisit {
+            site: site.id,
+            landing_domain: site.domain.clone(),
+            started_at,
+            finished_at,
+            connections,
+            requests,
+            netlog,
+        }
+    }
+
+    /// Fetch a single planned request, reusing or opening connections.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_one(
+        &mut self,
+        env: &WebEnvironment,
+        resolver: &mut RecursiveResolver,
+        document_origin: &Origin,
+        planned: &PlannedRequest,
+        connections: &mut Vec<Connection>,
+        clock: &mut SimClock,
+        netlog: &mut NetLog,
+        rtt: Duration,
+    ) -> Option<RequestLogEntry> {
+        let target_origin = Origin::https(planned.domain.clone());
+        let mut fetch_request = FetchRequest::with_defaults(
+            target_origin.clone(),
+            &planned.path,
+            document_origin.clone(),
+            planned.destination,
+        );
+        if planned.anonymous {
+            fetch_request = fetch_request.anonymous();
+        }
+        let credentialed = includes_credentials(&fetch_request);
+
+        // Small per-request pacing so establishment order is well defined.
+        clock.advance(Duration::from_millis(2));
+
+        // 1. Direct session-pool hit: same origin, same credentials partition.
+        let mut chosen: Option<usize> = None;
+        for (index, connection) in connections.iter().enumerate() {
+            if connection.initial_origin == target_origin
+                && connection.credentialed == credentialed
+                && connection.can_open_stream()
+                && !connection.excluded_domains.contains(&planned.domain)
+            {
+                chosen = Some(index);
+                break;
+            }
+        }
+
+        // 2. Coalescing: resolve the host and run the RFC 7540 §9.1.1 check
+        //    against every live session.
+        let answer = match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
+            Ok(answer) => answer,
+            Err(_) => {
+                netlog.record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain.clone() });
+                return None;
+            }
+        };
+        netlog.record(
+            clock.now(),
+            NetLogEventKind::DnsResolved { domain: planned.domain.clone(), addresses: answer.addresses.clone() },
+        );
+        let target_ip = answer.primary_address()?;
+
+        if chosen.is_none() {
+            let mut refusals = Vec::new();
+            for (index, connection) in connections.iter().enumerate() {
+                if !connection.is_open_at(clock.now()) {
+                    continue;
+                }
+                match evaluate(connection, &target_origin, target_ip, credentialed, &self.config.reuse_policy) {
+                    ReuseDecision::Reusable => {
+                        chosen = Some(index);
+                        break;
+                    }
+                    ReuseDecision::Refused(reasons) => refusals.push((connection.id, reasons)),
+                }
+            }
+            if chosen.is_none() {
+                for (connection, reasons) in refusals {
+                    netlog.record(
+                        clock.now(),
+                        NetLogEventKind::ReuseRefused { connection, domain: planned.domain.clone(), reasons },
+                    );
+                }
+            }
+        }
+
+        // 3. Open a new session when nothing qualified.
+        let index = match chosen {
+            Some(index) => {
+                netlog.record(
+                    clock.now(),
+                    NetLogEventKind::ConnectionReused {
+                        connection: connections[index].id,
+                        domain: planned.domain.clone(),
+                    },
+                );
+                index
+            }
+            None => {
+                let certificate = env
+                    .certificate_for(&planned.domain)
+                    .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain))
+                    .clone();
+                clock.advance(self.config.handshake.setup_latency(rtt));
+                let id: ConnectionId = self.connection_ids.issue_as();
+                let mut connection = Connection::establish(
+                    id,
+                    target_origin.clone(),
+                    target_ip,
+                    certificate,
+                    credentialed,
+                    clock.now(),
+                    Settings::default(),
+                );
+                if self.config.servers_announce_origin_sets {
+                    let origins: Vec<_> =
+                        connection.certificate.dns_names().into_iter().cloned().collect();
+                    connection.receive_origin_set(origins);
+                }
+                netlog.record(
+                    clock.now(),
+                    NetLogEventKind::ConnectionEstablished {
+                        connection: id,
+                        domain: planned.domain.clone(),
+                        ip: target_ip,
+                        credentialed,
+                    },
+                );
+                connections.push(connection);
+                connections.len() - 1
+            }
+        };
+
+        let cookie = if credentialed { Some("sid=0123456789abcdef") } else { None };
+        let connection = &mut connections[index];
+        let stream = match connection.send_request(&planned.domain, &planned.path, cookie) {
+            Ok(stream) => stream,
+            Err(_) => return None,
+        };
+        let status = 200;
+        connection
+            .complete_response(stream, &planned.domain, status, planned.body_size)
+            .expect("stream was just opened");
+
+        let request_id: RequestId = self.request_ids.issue_as();
+        let connection_id = connection.id;
+        netlog.record(
+            clock.now(),
+            NetLogEventKind::RequestSent {
+                request: request_id,
+                connection: connection_id,
+                domain: planned.domain.clone(),
+                path: planned.path.clone(),
+            },
+        );
+        netlog.record(
+            clock.now() + rtt,
+            NetLogEventKind::ResponseCompleted { request: request_id, status, body_size: planned.body_size },
+        );
+
+        Some(RequestLogEntry {
+            id: request_id,
+            connection: connection_id,
+            domain: planned.domain.clone(),
+            path: planned.path.clone(),
+            destination: planned.destination,
+            credentialed,
+            status,
+            body_size: planned.body_size,
+            started_at: clock.now(),
+        })
+    }
+}
+
+/// Crude transfer-time model: body size over configured bandwidth.
+fn transfer_time(body_size: u64, config: &BrowserConfig) -> Duration {
+    Duration::from_millis(body_size / config.bandwidth_bytes_per_ms.max(1))
+}
+
+/// Convenience used by tests and examples: resolve a domain once with a fresh
+/// resolver configured like the browser would.
+pub fn resolve_once(
+    authority: &Authority,
+    config: &BrowserConfig,
+    domain: &netsim_types::DomainName,
+    now: Instant,
+) -> Option<netsim_types::IpAddr> {
+    let mut resolver =
+        RecursiveResolver::new(ResolverConfig::new(config.resolver, config.vantage, "adhoc-resolver"));
+    resolver.resolve(authority, domain, now).ok().and_then(|a| a.primary_address())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_types::DomainName;
+    use netsim_web::{PopulationBuilder, PopulationProfile};
+
+    fn environment(sites: usize, seed: u64) -> WebEnvironment {
+        PopulationBuilder::new(PopulationProfile::alexa(), sites, seed).build()
+    }
+
+    fn visit(env: &WebEnvironment, site_index: usize, config: BrowserConfig) -> PageVisit {
+        let mut browser = Browser::new(config);
+        let mut clock = SimClock::new();
+        let mut rng = SimRng::new(99);
+        browser.load_page(env, &env.sites[site_index], &mut clock, &mut rng)
+    }
+
+    #[test]
+    fn every_request_rides_some_connection() {
+        let env = environment(20, 1);
+        for index in 0..env.sites.len() {
+            let v = visit(&env, index, BrowserConfig::alexa_measurement());
+            assert_eq!(v.request_count(), env.sites[index].plan.len(), "site {}", env.sites[index].domain);
+            assert!(v.connection_count() >= 1);
+            assert!(v.connection_count() <= v.request_count());
+            for request in &v.requests {
+                assert!(v.connection(request.connection).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn same_origin_requests_share_a_connection() {
+        let env = environment(10, 2);
+        // Pick a site with several first-party resources (they all exist).
+        let v = visit(&env, 0, BrowserConfig::alexa_measurement());
+        let landing = &env.sites[0].domain;
+        let landing_conns: std::collections::BTreeSet<_> = v
+            .requests
+            .iter()
+            .filter(|r| &r.domain == landing && r.credentialed)
+            .map(|r| r.connection)
+            .collect();
+        assert_eq!(landing_conns.len(), 1, "credentialed same-origin requests must share one session");
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let env = environment(5, 3);
+        let a = visit(&env, 2, BrowserConfig::alexa_measurement());
+        let b = visit(&env, 2, BrowserConfig::alexa_measurement());
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.connection_count(), b.connection_count());
+        assert_eq!(a.netlog, b.netlog);
+    }
+
+    #[test]
+    fn ignoring_fetch_credentials_never_increases_connections() {
+        let env = environment(40, 4);
+        for index in 0..env.sites.len() {
+            let strict = visit(&env, index, BrowserConfig::alexa_measurement());
+            let patched = visit(&env, index, BrowserConfig::alexa_without_fetch());
+            assert!(
+                patched.connection_count() <= strict.connection_count(),
+                "site {}: patched {} > strict {}",
+                env.sites[index].domain,
+                patched.connection_count(),
+                strict.connection_count()
+            );
+        }
+    }
+
+    #[test]
+    fn analytics_chain_opens_a_redundant_connection_for_the_ip_cause() {
+        // Find a site embedding google-analytics; GTM and GA share a
+        // certificate but are unsynchronized-balanced, so with high
+        // probability across sites at least one visit splits them.
+        let env = environment(60, 5);
+        let gtm = DomainName::literal("www.googletagmanager.com");
+        let ga = DomainName::literal("www.google-analytics.com");
+        let mut split_seen = false;
+        for (index, site) in env.sites.iter().enumerate() {
+            if !site.embeds("google-analytics") {
+                continue;
+            }
+            // Spread visits across load-balancing epochs like a real crawl
+            // does; whether the two domains' answers overlap varies over time
+            // (paper, Figure 3).
+            let mut browser = Browser::new(BrowserConfig::alexa_measurement());
+            let mut clock = SimClock::starting_at(Instant::EPOCH + Duration::from_mins(31 * index as u64));
+            let mut rng = SimRng::new(99);
+            let v = browser.load_page(&env, site, &mut clock, &mut rng);
+            let gtm_conn: Vec<_> = v.requests.iter().filter(|r| r.domain == gtm).map(|r| r.connection).collect();
+            let ga_conn: Vec<_> =
+                v.requests.iter().filter(|r| r.domain == ga && r.credentialed).map(|r| r.connection).collect();
+            if gtm_conn.is_empty() || ga_conn.is_empty() {
+                continue;
+            }
+            if gtm_conn[0] != ga_conn[0] {
+                split_seen = true;
+                break;
+            }
+        }
+        assert!(split_seen, "expected at least one GTM/GA connection split across the sample");
+    }
+
+    #[test]
+    fn anonymous_subresources_get_their_own_connection_under_fetch() {
+        let env = environment(80, 6);
+        let ga = DomainName::literal("www.google-analytics.com");
+        let mut cred_split_seen = false;
+        for (index, site) in env.sites.iter().enumerate() {
+            if !site.embeds("google-analytics") {
+                continue;
+            }
+            let v = visit(&env, index, BrowserConfig::alexa_measurement());
+            let credentialed: std::collections::BTreeSet<_> =
+                v.requests.iter().filter(|r| r.domain == ga && r.credentialed).map(|r| r.connection).collect();
+            let anonymous: std::collections::BTreeSet<_> =
+                v.requests.iter().filter(|r| r.domain == ga && !r.credentialed).map(|r| r.connection).collect();
+            if !credentialed.is_empty() && !anonymous.is_empty() {
+                assert!(credentialed.is_disjoint(&anonymous), "partitions must not share sessions");
+                cred_split_seen = true;
+                break;
+            }
+        }
+        assert!(cred_split_seen, "expected an anonymous beacon alongside credentialed analytics requests");
+    }
+
+    #[test]
+    fn origin_frame_deployment_never_increases_connections() {
+        let env = environment(40, 12);
+        let mut improved_somewhere = false;
+        for index in 0..env.sites.len() {
+            let chromium = visit(&env, index, BrowserConfig::alexa_measurement());
+            let with_frames = visit(&env, index, BrowserConfig::with_origin_frames());
+            assert!(
+                with_frames.connection_count() <= chromium.connection_count(),
+                "site {}: ORIGIN frames must not add connections",
+                env.sites[index].domain
+            );
+            if with_frames.connection_count() < chromium.connection_count() {
+                improved_somewhere = true;
+            }
+        }
+        assert!(improved_somewhere, "ORIGIN-frame adoption should coalesce at least one site's connections");
+    }
+
+    #[test]
+    fn connection_lifetimes_follow_the_duration_model() {
+        let env = environment(30, 7);
+        let mut closed = 0usize;
+        let mut total = 0usize;
+        for index in 0..env.sites.len() {
+            let v = visit(&env, index, BrowserConfig::alexa_measurement());
+            for connection in &v.connections {
+                total += 1;
+                if let Some(lifetime) = connection.lifetime() {
+                    closed += 1;
+                    assert!(lifetime >= Duration::from_secs(61));
+                    assert!(lifetime <= Duration::from_secs(244));
+                }
+            }
+        }
+        assert!(total > 0);
+        // ~3.5 % close early; with a few hundred connections expect under 15 %.
+        assert!((closed as f64) < total as f64 * 0.15, "closed {closed} of {total}");
+    }
+
+    #[test]
+    fn keep_open_model_never_closes() {
+        let env = environment(10, 8);
+        let v = visit(&env, 1, BrowserConfig::http_archive_crawler());
+        assert!(v.connections.iter().all(|c| c.closed_at.is_none()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Dataset-level aggregation: the Table 1 cause counts and the §5.1 headline
+//! numbers.
+
+use crate::classify::{Cause, SiteClassification};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sites and connections affected by one cause (one cell pair of Table 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CauseCounts {
+    /// Number of sites with at least one connection carrying the cause.
+    pub sites: usize,
+    /// Number of connections carrying the cause.
+    pub connections: usize,
+}
+
+/// The aggregated view of one classified dataset — one column block of
+/// Table 1 plus the numbers quoted in §5.1.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Dataset label.
+    pub label: String,
+    /// Per-cause counts.
+    pub causes: BTreeMap<Cause, CauseCounts>,
+    /// Sites with at least one redundant connection / total redundant
+    /// connections (the "Redund." row).
+    pub redundant: CauseCounts,
+    /// Sites with at least one HTTP/2 connection / total HTTP/2 connections
+    /// (the "Total" row).
+    pub total: CauseCounts,
+}
+
+impl DatasetSummary {
+    /// Aggregate a set of per-site classifications.
+    pub fn from_classifications(label: &str, classifications: &[SiteClassification]) -> Self {
+        let mut causes: BTreeMap<Cause, CauseCounts> = Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect();
+        let mut redundant = CauseCounts::default();
+        let mut total = CauseCounts::default();
+        for classification in classifications {
+            // Sites that never opened an HTTP/2 connection are outside the
+            // analysis population (Table 1 counts only HTTP/2 sites).
+            if classification.total_connections == 0 {
+                continue;
+            }
+            total.sites += 1;
+            total.connections += classification.total_connections;
+            let site_redundant = classification.redundant_connections();
+            if site_redundant > 0 {
+                redundant.sites += 1;
+            }
+            redundant.connections += site_redundant;
+            for cause in Cause::ALL {
+                let count = classification.connections_with_cause(cause);
+                let entry = causes.get_mut(&cause).expect("all causes pre-inserted");
+                entry.connections += count;
+                if count > 0 {
+                    entry.sites += 1;
+                }
+            }
+        }
+        DatasetSummary { label: label.to_string(), causes, redundant, total }
+    }
+
+    /// Counts for one cause.
+    pub fn cause(&self, cause: Cause) -> CauseCounts {
+        self.causes.get(&cause).copied().unwrap_or_default()
+    }
+
+    /// Fraction of sites affected by a cause (relative to HTTP/2 sites).
+    pub fn site_share(&self, cause: Cause) -> f64 {
+        ratio(self.cause(cause).sites, self.total.sites)
+    }
+
+    /// Fraction of connections affected by a cause.
+    pub fn connection_share(&self, cause: Cause) -> f64 {
+        ratio(self.cause(cause).connections, self.total.connections)
+    }
+
+    /// Fraction of sites with at least one redundant connection — the
+    /// paper's headline metric (76 % HAR endless, 95 % Alexa).
+    pub fn redundant_site_share(&self) -> f64 {
+        ratio(self.redundant.sites, self.total.sites)
+    }
+
+    /// Fraction of connections that are redundant.
+    pub fn redundant_connection_share(&self) -> f64 {
+        ratio(self.redundant.connections, self.total.connections)
+    }
+}
+
+fn ratio(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassifiedConnection;
+    use netsim_types::DomainName;
+    use std::collections::BTreeMap;
+
+    fn classified(site: &str, total: usize, causes_per_conn: Vec<Vec<Cause>>) -> SiteClassification {
+        let connections = causes_per_conn
+            .into_iter()
+            .enumerate()
+            .map(|(index, causes)| ClassifiedConnection {
+                index,
+                origin: DomainName::literal(site),
+                causes: causes.into_iter().map(|c| (c, vec![0])).collect::<BTreeMap<_, _>>(),
+                excluded: false,
+            })
+            .collect();
+        SiteClassification { site: DomainName::literal(site), total_connections: total, connections }
+    }
+
+    #[test]
+    fn summary_counts_sites_and_connections() {
+        let classifications = vec![
+            classified("a.com", 5, vec![vec![], vec![Cause::Ip], vec![Cause::Ip, Cause::Cred]]),
+            classified("b.com", 3, vec![vec![], vec![Cause::Cert]]),
+            classified("c.com", 2, vec![vec![], vec![]]),
+        ];
+        let summary = DatasetSummary::from_classifications("test", &classifications);
+        assert_eq!(summary.total, CauseCounts { sites: 3, connections: 10 });
+        assert_eq!(summary.redundant, CauseCounts { sites: 2, connections: 3 });
+        assert_eq!(summary.cause(Cause::Ip), CauseCounts { sites: 1, connections: 2 });
+        assert_eq!(summary.cause(Cause::Cred), CauseCounts { sites: 1, connections: 1 });
+        assert_eq!(summary.cause(Cause::Cert), CauseCounts { sites: 1, connections: 1 });
+        assert!((summary.redundant_site_share() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((summary.connection_share(Cause::Ip) - 0.2).abs() < 1e-9);
+        assert!((summary.site_share(Cause::Cert) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cause_sum_can_exceed_redundant_count() {
+        // One connection with two causes: counted once as redundant but once
+        // per cause — mirroring the paper's note that cause sums may exceed
+        // the redundant totals.
+        let classifications = vec![classified("a.com", 2, vec![vec![], vec![Cause::Ip, Cause::Cred]])];
+        let summary = DatasetSummary::from_classifications("test", &classifications);
+        let cause_sum: usize = Cause::ALL.iter().map(|c| summary.cause(*c).connections).sum();
+        assert_eq!(summary.redundant.connections, 1);
+        assert_eq!(cause_sum, 2);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_shares() {
+        let summary = DatasetSummary::from_classifications("empty", &[]);
+        assert_eq!(summary.redundant_site_share(), 0.0);
+        assert_eq!(summary.connection_share(Cause::Ip), 0.0);
+        assert_eq!(summary.redundant_connection_share(), 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The redundancy classifier (§4.1 of the paper).
+
+use crate::observation::{Dataset, DurationModel, SiteObservation};
+use netsim_types::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The root causes a redundant connection can be attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Cause {
+    /// Same IP, certificate does not cover the domain: domain sharding with
+    /// disjunct certificates.
+    Cert,
+    /// Different IP, certificate covers the domain: DNS load balancing /
+    /// genuinely distributed hosting of SAN-covered domains.
+    Ip,
+    /// Same IP and SAN-covered (or same initial domain on different IPs):
+    /// reuse was possible but the Fetch credentials partition refused it.
+    Cred,
+}
+
+impl Cause {
+    /// All causes in table order (CERT, IP, CRED — the row order of Table 1).
+    pub const ALL: [Cause; 3] = [Cause::Cert, Cause::Ip, Cause::Cred];
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::Cert => "CERT",
+            Cause::Ip => "IP",
+            Cause::Cred => "CRED",
+        }
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One connection after classification.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifiedConnection {
+    /// Index of the connection within the site observation.
+    pub index: usize,
+    /// The connection's initial domain (its origin in the attribution
+    /// tables).
+    pub origin: DomainName,
+    /// Causes and, per cause, the indices of the earlier connections that
+    /// could have carried the traffic.
+    pub causes: BTreeMap<Cause, Vec<usize>>,
+    /// `true` if the server had excluded the domain via HTTP 421 (such
+    /// connections are ignored by the redundancy analysis).
+    pub excluded: bool,
+}
+
+impl ClassifiedConnection {
+    /// `true` if at least one cause applies.
+    pub fn is_redundant(&self) -> bool {
+        !self.excluded && !self.causes.is_empty()
+    }
+
+    /// `true` if the given cause applies.
+    pub fn has_cause(&self, cause: Cause) -> bool {
+        self.causes.contains_key(&cause)
+    }
+
+    /// The earlier-connection indices recorded for a cause.
+    pub fn previous_for(&self, cause: Cause) -> &[usize] {
+        self.causes.get(&cause).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The classification of one site.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteClassification {
+    /// The site's landing domain.
+    pub site: DomainName,
+    /// Total HTTP/2 connections observed.
+    pub total_connections: usize,
+    /// Per-connection classification, in establishment order.
+    pub connections: Vec<ClassifiedConnection>,
+}
+
+impl SiteClassification {
+    /// Number of redundant connections.
+    pub fn redundant_connections(&self) -> usize {
+        self.connections.iter().filter(|c| c.is_redundant()).count()
+    }
+
+    /// Number of connections carrying the given cause.
+    pub fn connections_with_cause(&self, cause: Cause) -> usize {
+        self.connections.iter().filter(|c| c.has_cause(cause)).count()
+    }
+
+    /// `true` if any connection carries the given cause.
+    pub fn affected_by(&self, cause: Cause) -> bool {
+        self.connections_with_cause(cause) > 0
+    }
+
+    /// `true` if the site opened at least one redundant connection.
+    pub fn has_redundancy(&self) -> bool {
+        self.redundant_connections() > 0
+    }
+}
+
+/// Classify one site's observed connections under a duration model.
+pub fn classify_site(site: &SiteObservation, model: DurationModel) -> SiteClassification {
+    // Establishment order: by start time, ties broken by id for determinism.
+    let mut order: Vec<usize> = (0..site.connections.len()).collect();
+    order.sort_by_key(|&i| (site.connections[i].established_at, site.connections[i].id));
+
+    // Domains the servers explicitly excluded via HTTP 421 anywhere on the
+    // site: connections for them are ignored (§4.1 / §4.3).
+    let excluded_domains: BTreeSet<&DomainName> = site
+        .connections
+        .iter()
+        .flat_map(|c| c.requests.iter())
+        .filter(|r| r.status == 421)
+        .map(|r| &r.domain)
+        .collect();
+
+    let mut classified = Vec::with_capacity(order.len());
+    for (position, &index) in order.iter().enumerate() {
+        let connection = &site.connections[index];
+        if excluded_domains.contains(&connection.initial_domain) {
+            classified.push(ClassifiedConnection {
+                index,
+                origin: connection.initial_domain.clone(),
+                causes: BTreeMap::new(),
+                excluded: true,
+            });
+            continue;
+        }
+        let mut causes: BTreeMap<Cause, Vec<usize>> = BTreeMap::new();
+        for &previous_index in &order[..position] {
+            let previous = &site.connections[previous_index];
+            if previous.port != connection.port {
+                continue;
+            }
+            if !previous.open_at(connection.established_at, model) {
+                continue;
+            }
+            let covers = previous.covers(&connection.initial_domain);
+            let cause = if previous.ip == connection.ip {
+                if covers {
+                    Some(Cause::Cred)
+                } else {
+                    Some(Cause::Cert)
+                }
+            } else if previous.initial_domain == connection.initial_domain {
+                // Same-initial-domain on different IPs: only happens when the
+                // credentials partition forbade reuse and DNS announced
+                // several addresses — counted as CRED, not IP (§4.1).
+                Some(Cause::Cred)
+            } else if covers {
+                Some(Cause::Ip)
+            } else {
+                None
+            };
+            if let Some(cause) = cause {
+                causes.entry(cause).or_default().push(previous_index);
+            }
+        }
+        classified.push(ClassifiedConnection {
+            index,
+            origin: connection.initial_domain.clone(),
+            causes,
+            excluded: false,
+        });
+    }
+
+    SiteClassification {
+        site: site.site.clone(),
+        total_connections: site.connections.len(),
+        connections: classified,
+    }
+}
+
+/// Classify every site of a dataset. The result is aligned index-by-index
+/// with `dataset.sites`; sites without any HTTP/2 connection yield an empty
+/// classification (they are excluded from aggregate totals downstream).
+pub fn classify_dataset(dataset: &Dataset, model: DurationModel) -> Vec<SiteClassification> {
+    dataset.sites.iter().map(|s| classify_site(s, model)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{ObservedConnection, ObservedRequest};
+    use netsim_tls::{Issuer, SanEntry};
+    use netsim_types::{ConnectionId, Instant, IpAddr};
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn conn(
+        id: u64,
+        domain: &str,
+        ip: IpAddr,
+        san: &[&str],
+        start_ms: u64,
+    ) -> ObservedConnection {
+        ObservedConnection {
+            id: ConnectionId(id),
+            initial_domain: d(domain),
+            ip,
+            port: 443,
+            san: san.iter().map(|s| SanEntry::parse(s).unwrap()).collect(),
+            issuer: Issuer::lets_encrypt(),
+            established_at: Instant::from_millis(start_ms),
+            closed_at: None,
+            requests: vec![ObservedRequest { domain: d(domain), status: 200, started_at: Instant::from_millis(start_ms + 1) }],
+        }
+    }
+
+    fn site(connections: Vec<ObservedConnection>) -> SiteObservation {
+        SiteObservation { site: d("example.com"), connections }
+    }
+
+    const IP_A: IpAddr = IpAddr::new(10, 0, 0, 1);
+    const IP_B: IpAddr = IpAddr::new(10, 0, 0, 2);
+
+    #[test]
+    fn single_connection_is_never_redundant() {
+        let s = site(vec![conn(1, "example.com", IP_A, &["example.com"], 0)]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.redundant_connections(), 0);
+        assert!(!result.has_redundancy());
+        assert_eq!(result.total_connections, 1);
+    }
+
+    #[test]
+    fn cred_cause_same_ip_covered() {
+        let s = site(vec![
+            conn(1, "fonts.googleapis.com", IP_A, &["fonts.googleapis.com", "ajax.googleapis.com"], 0),
+            conn(2, "ajax.googleapis.com", IP_A, &["fonts.googleapis.com", "ajax.googleapis.com"], 100),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.connections_with_cause(Cause::Cred), 1);
+        assert_eq!(result.connections_with_cause(Cause::Cert), 0);
+        assert_eq!(result.connections_with_cause(Cause::Ip), 0);
+        assert_eq!(result.redundant_connections(), 1);
+        assert_eq!(result.connections[1].previous_for(Cause::Cred), &[0]);
+    }
+
+    #[test]
+    fn cert_cause_same_ip_not_covered() {
+        let s = site(vec![
+            conn(1, "static.klaviyo.com", IP_A, &["static.klaviyo.com"], 0),
+            conn(2, "fast.a.klaviyo.com", IP_A, &["fast.a.klaviyo.com"], 100),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.connections_with_cause(Cause::Cert), 1);
+        assert!(result.affected_by(Cause::Cert));
+        assert!(!result.affected_by(Cause::Ip));
+    }
+
+    #[test]
+    fn ip_cause_different_ip_covered() {
+        let shared_san = &["www.googletagmanager.com", "www.google-analytics.com"];
+        let s = site(vec![
+            conn(1, "www.googletagmanager.com", IP_A, shared_san, 0),
+            conn(2, "www.google-analytics.com", IP_B, shared_san, 100),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.connections_with_cause(Cause::Ip), 1);
+        assert_eq!(result.redundant_connections(), 1);
+    }
+
+    #[test]
+    fn unknown_third_party_is_not_redundant() {
+        let s = site(vec![
+            conn(1, "example.com", IP_A, &["example.com"], 0),
+            conn(2, "tracker.example.net", IP_B, &["tracker.example.net"], 100),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.redundant_connections(), 0);
+    }
+
+    #[test]
+    fn same_domain_different_ip_is_cred_corner_case() {
+        let s = site(vec![
+            conn(1, "www.google-analytics.com", IP_A, &["www.google-analytics.com"], 0),
+            conn(2, "www.google-analytics.com", IP_B, &["www.google-analytics.com"], 100),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.connections_with_cause(Cause::Cred), 1);
+        assert_eq!(result.connections_with_cause(Cause::Ip), 0, "corner case must not count as IP");
+    }
+
+    #[test]
+    fn http_421_exclusion_suppresses_classification() {
+        let mut excluded = conn(2, "api.example.com", IP_A, &["api.example.com"], 100);
+        excluded.requests[0].status = 421;
+        let s = site(vec![conn(1, "example.com", IP_A, &["example.com", "api.example.com"], 0), excluded]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.redundant_connections(), 0);
+        assert!(result.connections[1].excluded);
+        assert!(!result.connections[1].is_redundant());
+    }
+
+    #[test]
+    fn immediate_model_forgets_closed_connections() {
+        // First connection's last request is at t=1ms; the second connection
+        // opens at t=60s. Under the immediate model the first is gone.
+        let shared = &["a.example.com", "b.example.com"];
+        let s = site(vec![conn(1, "a.example.com", IP_A, shared, 0), conn(2, "b.example.com", IP_A, shared, 60_000)]);
+        let endless = classify_site(&s, DurationModel::Endless);
+        let immediate = classify_site(&s, DurationModel::Immediate);
+        assert_eq!(endless.redundant_connections(), 1);
+        assert_eq!(immediate.redundant_connections(), 0);
+    }
+
+    #[test]
+    fn recorded_model_uses_close_times() {
+        let shared = &["a.example.com", "b.example.com"];
+        let mut first = conn(1, "a.example.com", IP_A, shared, 0);
+        first.closed_at = Some(Instant::from_millis(30_000));
+        let s = site(vec![first, conn(2, "b.example.com", IP_A, shared, 60_000)]);
+        let recorded = classify_site(&s, DurationModel::Recorded);
+        assert_eq!(recorded.redundant_connections(), 0);
+        let endless = classify_site(&s, DurationModel::Endless);
+        assert_eq!(endless.redundant_connections(), 1);
+    }
+
+    #[test]
+    fn paper_worked_example_multi_cause_counts() {
+        // Four successively opened same-IP connections; #1/#3 use cert A
+        // (covering a.example.com), #2/#4 use cert B (covering b.example.com).
+        // Expected (§4.1): three redundant connections, CERT counted for
+        // three of them, CRED for two.
+        let s = site(vec![
+            conn(1, "a.example.com", IP_A, &["a.example.com"], 0),
+            conn(2, "b.example.com", IP_A, &["b.example.com"], 100),
+            conn(3, "a.example.com", IP_A, &["a.example.com"], 200),
+            conn(4, "b.example.com", IP_A, &["b.example.com"], 300),
+        ]);
+        let result = classify_site(&s, DurationModel::Endless);
+        assert_eq!(result.redundant_connections(), 3);
+        assert_eq!(result.connections_with_cause(Cause::Cert), 3);
+        assert_eq!(result.connections_with_cause(Cause::Cred), 2);
+        assert_eq!(result.connections_with_cause(Cause::Ip), 0);
+        // #4 is CERT-redundant to #1 and #3, CRED-redundant to #2.
+        let fourth = &result.connections[3];
+        assert_eq!(fourth.previous_for(Cause::Cert).len(), 2);
+        assert_eq!(fourth.previous_for(Cause::Cred).len(), 1);
+    }
+
+    #[test]
+    fn classify_dataset_is_aligned_with_sites() {
+        let dataset = Dataset::new(
+            "test",
+            vec![
+                site(vec![conn(1, "example.com", IP_A, &["example.com"], 0)]),
+                SiteObservation { site: d("empty.com"), connections: vec![] },
+            ],
+        );
+        let results = classify_dataset(&dataset, DurationModel::Endless);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].total_connections, 1);
+        assert_eq!(results[1].total_connections, 0);
+        assert_eq!(results[1].site, d("empty.com"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The common observation model both data sources are converted into.
+//!
+//! HAR corpora and NetLog-style browser captures differ in what they know —
+//! HAR files lack connection end times, NetLogs have them — but the
+//! classifier only needs the fields below. [`DurationModel`] expresses the
+//! paper's handling of the missing end times: the HTTP-Archive dataset is
+//! evaluated under both an *endless* and an *immediate* assumption, while the
+//! own measurements use the recorded lifetimes.
+
+use netsim_tls::{Issuer, SanEntry};
+use netsim_types::{ConnectionId, DomainName, Instant, IpAddr};
+use serde::{Deserialize, Serialize};
+
+/// How a connection's open interval is derived when checking whether it was
+/// available for reuse at a later connection's establishment time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DurationModel {
+    /// Connections never close (upper bound used for the HTTP Archive).
+    Endless,
+    /// Connections close right after their last request (lower bound).
+    Immediate,
+    /// Use the recorded close times; connections without one stay open.
+    Recorded,
+}
+
+/// One request observed on a connection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRequest {
+    /// Requested host.
+    pub domain: DomainName,
+    /// Response status.
+    pub status: u16,
+    /// When the request was sent.
+    pub started_at: Instant,
+}
+
+/// One observed HTTP/2 session.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedConnection {
+    /// Session identifier (HAR socket id / NetLog source id).
+    pub id: ConnectionId,
+    /// The host of the first request on the session (the SNI the session was
+    /// opened for).
+    pub initial_domain: DomainName,
+    /// Destination address.
+    pub ip: IpAddr,
+    /// Destination port.
+    pub port: u16,
+    /// Subject Alternative Names of the presented certificate.
+    pub san: Vec<SanEntry>,
+    /// Issuer organisation of the presented certificate.
+    pub issuer: Issuer,
+    /// When the session was established (approximated by the first request
+    /// for HAR data).
+    pub established_at: Instant,
+    /// When the session closed, if known.
+    pub closed_at: Option<Instant>,
+    /// Requests carried by the session, in send order.
+    pub requests: Vec<ObservedRequest>,
+}
+
+impl ObservedConnection {
+    /// `true` if the certificate covers `domain`.
+    pub fn covers(&self, domain: &DomainName) -> bool {
+        self.san.iter().any(|entry| entry.covers(domain))
+    }
+
+    /// The time of the last request on the session (the establishment time
+    /// when the session carried none).
+    pub fn last_request_at(&self) -> Instant {
+        self.requests.iter().map(|r| r.started_at).max().unwrap_or(self.established_at)
+    }
+
+    /// The end of the session's open interval under the given model, `None`
+    /// meaning "still open".
+    pub fn open_until(&self, model: DurationModel) -> Option<Instant> {
+        match model {
+            DurationModel::Endless => None,
+            DurationModel::Immediate => Some(self.last_request_at()),
+            DurationModel::Recorded => self.closed_at,
+        }
+    }
+
+    /// `true` if the session was open (established and not yet closed under
+    /// the model) at instant `t`.
+    pub fn open_at(&self, t: Instant, model: DurationModel) -> bool {
+        self.established_at <= t && self.open_until(model).map_or(true, |end| t <= end)
+    }
+
+    /// The recorded lifetime, when a close time exists.
+    pub fn lifetime(&self) -> Option<netsim_types::Duration> {
+        self.closed_at.map(|end| end - self.established_at)
+    }
+}
+
+/// Everything observed while visiting one site.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteObservation {
+    /// Landing-page host, used as the site key when intersecting datasets.
+    pub site: DomainName,
+    /// Observed HTTP/2 sessions.
+    pub connections: Vec<ObservedConnection>,
+}
+
+impl SiteObservation {
+    /// Number of observed sessions.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Total requests across all sessions.
+    pub fn request_count(&self) -> usize {
+        self.connections.iter().map(|c| c.requests.len()).sum()
+    }
+
+    /// `true` if at least one HTTP/2 session was observed.
+    pub fn has_http2(&self) -> bool {
+        !self.connections.is_empty()
+    }
+}
+
+/// A labelled collection of site observations (one measurement run).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable label ("HAR Endless", "Alexa", ...).
+    pub label: String,
+    /// Per-site observations.
+    pub sites: Vec<SiteObservation>,
+}
+
+impl Dataset {
+    /// A dataset with the given label and sites.
+    pub fn new(label: &str, sites: Vec<SiteObservation>) -> Self {
+        Dataset { label: label.to_string(), sites }
+    }
+
+    /// Number of sites with at least one HTTP/2 session.
+    pub fn http2_site_count(&self) -> usize {
+        self.sites.iter().filter(|s| s.has_http2()).count()
+    }
+
+    /// Total sessions across all sites.
+    pub fn total_connections(&self) -> usize {
+        self.sites.iter().map(|s| s.connection_count()).sum()
+    }
+
+    /// Total requests across all sites.
+    pub fn total_requests(&self) -> usize {
+        self.sites.iter().map(|s| s.request_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_types::Duration;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn connection(id: u64, start_ms: u64, closed_ms: Option<u64>) -> ObservedConnection {
+        ObservedConnection {
+            id: ConnectionId(id),
+            initial_domain: d("example.com"),
+            ip: IpAddr::new(10, 0, 0, 1),
+            port: 443,
+            san: vec![SanEntry::Dns(d("example.com")), SanEntry::Wildcard(d("example.com"))],
+            issuer: Issuer::lets_encrypt(),
+            established_at: Instant::from_millis(start_ms),
+            closed_at: closed_ms.map(Instant::from_millis),
+            requests: vec![
+                ObservedRequest { domain: d("example.com"), status: 200, started_at: Instant::from_millis(start_ms + 5) },
+                ObservedRequest {
+                    domain: d("img.example.com"),
+                    status: 200,
+                    started_at: Instant::from_millis(start_ms + 80),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn coverage_uses_san_entries() {
+        let c = connection(1, 0, None);
+        assert!(c.covers(&d("example.com")));
+        assert!(c.covers(&d("img.example.com")));
+        assert!(!c.covers(&d("other.org")));
+    }
+
+    #[test]
+    fn open_intervals_per_model() {
+        let open = connection(1, 100, None);
+        let closed = connection(2, 100, Some(10_000));
+        let probe = Instant::from_millis(5_000);
+        assert!(open.open_at(probe, DurationModel::Endless));
+        assert!(open.open_at(probe, DurationModel::Recorded));
+        assert!(!open.open_at(probe, DurationModel::Immediate), "last request was at t=180ms");
+        assert!(open.open_at(Instant::from_millis(150), DurationModel::Immediate));
+        assert!(closed.open_at(probe, DurationModel::Recorded));
+        assert!(!closed.open_at(Instant::from_millis(20_000), DurationModel::Recorded));
+        assert!(!open.open_at(Instant::from_millis(50), DurationModel::Endless), "not yet established");
+        assert_eq!(closed.lifetime(), Some(Duration::from_millis(9_900)));
+        assert_eq!(open.lifetime(), None);
+    }
+
+    #[test]
+    fn dataset_counters() {
+        let dataset = Dataset::new(
+            "test",
+            vec![
+                SiteObservation { site: d("a.com"), connections: vec![connection(1, 0, None)] },
+                SiteObservation { site: d("b.com"), connections: vec![] },
+            ],
+        );
+        assert_eq!(dataset.http2_site_count(), 1);
+        assert_eq!(dataset.total_connections(), 1);
+        assert_eq!(dataset.total_requests(), 2);
+        assert_eq!(dataset.sites[0].connection_count(), 1);
+        assert!(!dataset.sites[1].has_http2());
+    }
+}

@@ -1,0 +1,147 @@
+//! The authoritative side of the simulated DNS.
+//!
+//! [`Authority`] aggregates all zones of a simulation run. Recursive resolvers
+//! send it name queries together with a [`QueryContext`]; it finds the zone
+//! responsible for the name and returns the matching records. Zone cuts and
+//! delegation latency are not modelled — the analysis only depends on *which
+//! addresses* come back, not on how many referrals it took to find them.
+
+use crate::query::QueryContext;
+use crate::record::ResourceRecord;
+use crate::zone::{Zone, ZoneEntry};
+use netsim_types::DomainName;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The collection of all authoritative zones.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Authority {
+    /// Zones indexed by their apex. Lookup walks from the most specific
+    /// enclosing apex outwards.
+    zones: BTreeMap<DomainName, Zone>,
+}
+
+impl Authority {
+    /// An authority with no zones.
+    pub fn new() -> Self {
+        Authority::default()
+    }
+
+    /// Add (or replace) a zone rooted at `apex`.
+    pub fn add_zone(&mut self, apex: DomainName, zone: Zone) -> &mut Self {
+        self.zones.insert(apex, zone);
+        self
+    }
+
+    /// Convenience: ensure a zone exists for `apex` and return a mutable
+    /// reference to it.
+    pub fn zone_mut(&mut self, apex: DomainName) -> &mut Zone {
+        self.zones.entry(apex.clone()).or_insert_with(|| Zone::rooted(apex))
+    }
+
+    /// Insert a single entry, creating the zone for the name's registrable
+    /// domain if needed. This is the common path for the population generator.
+    pub fn insert_entry(&mut self, name: DomainName, entry: ZoneEntry) {
+        let apex = name.registrable();
+        self.zone_mut(apex).insert(name, entry);
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Total number of owner names across all zones.
+    pub fn name_count(&self) -> usize {
+        self.zones.values().map(Zone::len).sum()
+    }
+
+    /// The zone responsible for `name`: the zone whose apex is the longest
+    /// suffix of `name`.
+    pub fn zone_for(&self, name: &DomainName) -> Option<&Zone> {
+        let mut candidate = Some(name.clone());
+        while let Some(current) = candidate {
+            if let Some(zone) = self.zones.get(&current) {
+                if zone.entry(name).is_some() || &current == name {
+                    return Some(zone);
+                }
+                // The apex matches but holds no entry for the name; keep the
+                // zone anyway — it is still the authoritative one.
+                return Some(zone);
+            }
+            candidate = current.parent();
+        }
+        None
+    }
+
+    /// Answer a query: the records for `name` under `ctx`, or an empty vector
+    /// for names nobody is authoritative for (NXDOMAIN).
+    pub fn query(&self, name: &DomainName, ctx: &QueryContext) -> Vec<ResourceRecord> {
+        match self.zone_for(name) {
+            Some(zone) => zone.records_for(name, ctx),
+            None => Vec::new(),
+        }
+    }
+
+    /// `true` if some zone has an entry for `name`.
+    pub fn knows(&self, name: &DomainName) -> bool {
+        self.zone_for(name).map(|z| z.entry(name).is_some()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadbalance::LoadBalancePolicy;
+    use crate::query::{ResolverId, Vantage};
+    use netsim_types::{Instant, IpAddr};
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn ctx() -> QueryContext {
+        QueryContext::new(ResolverId(0), Vantage::Europe, Instant::EPOCH)
+    }
+
+    fn authority() -> Authority {
+        let mut auth = Authority::new();
+        auth.insert_entry(d("example.com"), ZoneEntry::single(IpAddr::new(192, 0, 2, 1)));
+        auth.insert_entry(d("www.example.com"), ZoneEntry::alias(d("example.com")));
+        auth.insert_entry(
+            d("cdn.provider.net"),
+            ZoneEntry::balanced(LoadBalancePolicy::single(IpAddr::new(198, 51, 100, 7))),
+        );
+        auth
+    }
+
+    #[test]
+    fn zones_are_created_per_registrable_domain() {
+        let auth = authority();
+        assert_eq!(auth.zone_count(), 2);
+        assert_eq!(auth.name_count(), 3);
+        assert!(auth.knows(&d("www.example.com")));
+        assert!(!auth.knows(&d("mail.example.com")));
+        assert!(!auth.knows(&d("unknown.org")));
+    }
+
+    #[test]
+    fn query_returns_records_or_nxdomain() {
+        let auth = authority();
+        let records = auth.query(&d("example.com"), &ctx());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].data.as_a(), Some(IpAddr::new(192, 0, 2, 1)));
+        let alias = auth.query(&d("www.example.com"), &ctx());
+        assert_eq!(alias[0].data.as_cname(), Some(&d("example.com")));
+        assert!(auth.query(&d("nothing.example.org"), &ctx()).is_empty());
+        // Name under a known zone but without an entry: empty answer.
+        assert!(auth.query(&d("mail.example.com"), &ctx()).is_empty());
+    }
+
+    #[test]
+    fn zone_for_walks_up_the_tree() {
+        let auth = authority();
+        assert!(auth.zone_for(&d("a.b.c.example.com")).is_some());
+        assert!(auth.zone_for(&d("example.org")).is_none());
+    }
+}

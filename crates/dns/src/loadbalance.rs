@@ -1,0 +1,273 @@
+//! Answer-selection (load-balancing) policies for authoritative zones.
+//!
+//! Section 5.3.1 of the paper attributes most `IP`-cause redundancy to
+//! *unsynchronized* DNS load balancing: each domain of a provider is balanced
+//! independently, so `www.googletagmanager.com` and `www.google-analytics.com`
+//! land on different members of the same address pool even though either host
+//! could serve both. The policies below reproduce that spectrum, from fully
+//! static answers to per-resolver, per-domain, time-varying selections — and a
+//! `SynchronizedPool` policy representing the fix the paper suggests (same
+//! CNAME / anycast address for all of a provider's domains).
+//!
+//! All selections are **deterministic** functions of the pool, the domain and
+//! the [`QueryContext`], so simulation runs are reproducible.
+
+use crate::query::QueryContext;
+use netsim_types::{DomainName, Duration, IpAddr};
+use serde::{Deserialize, Serialize};
+
+/// How an authoritative server picks the A records it returns for a domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoadBalancePolicy {
+    /// Always return the same address list. Small single-host sites.
+    Static {
+        /// The fixed answer.
+        addresses: Vec<IpAddr>,
+    },
+    /// Return `answer_size` consecutive pool members starting at an offset
+    /// that rotates with time (one step per `rotation_period`), identically
+    /// for every resolver. Classic round-robin rotation at the authority.
+    RotatingPool {
+        /// Candidate addresses.
+        pool: Vec<IpAddr>,
+        /// Number of addresses per answer.
+        answer_size: usize,
+        /// How often the rotation offset advances.
+        rotation_period: Duration,
+    },
+    /// Each (resolver, domain, time-bucket) triple is hashed to an offset into
+    /// the pool — answers differ between resolvers and between domains even
+    /// at the same instant. This is the *unsynchronized* behaviour behind the
+    /// paper's Google-Analytics/Tag-Manager and Facebook findings.
+    PerResolverPool {
+        /// Candidate addresses.
+        pool: Vec<IpAddr>,
+        /// Number of addresses per answer.
+        answer_size: usize,
+        /// Assignment stability: how long one resolver keeps getting the same
+        /// offset before being re-hashed.
+        epoch: Duration,
+    },
+    /// Like [`LoadBalancePolicy::PerResolverPool`] but the hash ignores the
+    /// domain, so every domain of the provider served by this policy resolves
+    /// to the *same* pool members for a given resolver and epoch — the
+    /// "synchronized"/anycast-style deployment the paper recommends.
+    SynchronizedPool {
+        /// Candidate addresses.
+        pool: Vec<IpAddr>,
+        /// Number of addresses per answer.
+        answer_size: usize,
+        /// Assignment stability window.
+        epoch: Duration,
+    },
+    /// The answer depends only on the client's vantage point (geo-DNS):
+    /// each vantage gets a fixed slice of the pool.
+    VantageSteered {
+        /// Candidate addresses; sliced per vantage.
+        pool: Vec<IpAddr>,
+        /// Number of addresses per answer.
+        answer_size: usize,
+    },
+}
+
+impl LoadBalancePolicy {
+    /// A static single-address policy.
+    pub fn single(address: IpAddr) -> Self {
+        LoadBalancePolicy::Static { addresses: vec![address] }
+    }
+
+    /// The full candidate pool of the policy.
+    pub fn pool(&self) -> &[IpAddr] {
+        match self {
+            LoadBalancePolicy::Static { addresses } => addresses,
+            LoadBalancePolicy::RotatingPool { pool, .. }
+            | LoadBalancePolicy::PerResolverPool { pool, .. }
+            | LoadBalancePolicy::SynchronizedPool { pool, .. }
+            | LoadBalancePolicy::VantageSteered { pool, .. } => pool,
+        }
+    }
+
+    /// Select the answer addresses for `domain` under context `ctx`.
+    ///
+    /// The returned list is never longer than the pool and never empty unless
+    /// the pool itself is empty.
+    pub fn select(&self, domain: &DomainName, ctx: &QueryContext) -> Vec<IpAddr> {
+        match self {
+            LoadBalancePolicy::Static { addresses } => addresses.clone(),
+            LoadBalancePolicy::RotatingPool { pool, answer_size, rotation_period } => {
+                let bucket = time_bucket(ctx, *rotation_period);
+                take_wrapped(pool, bucket as usize, *answer_size)
+            }
+            LoadBalancePolicy::PerResolverPool { pool, answer_size, epoch } => {
+                let bucket = time_bucket(ctx, *epoch);
+                let h = mix(
+                    fnv1a(domain.as_str().as_bytes())
+                        ^ ((ctx.resolver.0 as u64) << 32)
+                        ^ bucket,
+                );
+                take_wrapped(pool, h as usize, *answer_size)
+            }
+            LoadBalancePolicy::SynchronizedPool { pool, answer_size, epoch } => {
+                let bucket = time_bucket(ctx, *epoch);
+                let h = mix(((ctx.resolver.0 as u64) << 32) ^ bucket);
+                take_wrapped(pool, h as usize, *answer_size)
+            }
+            LoadBalancePolicy::VantageSteered { pool, answer_size } => {
+                if pool.is_empty() {
+                    return Vec::new();
+                }
+                let slice = pool.len().div_ceil(4).max(1);
+                let start = (ctx.vantage.index() as usize * slice) % pool.len();
+                take_wrapped(pool, start, *answer_size)
+            }
+        }
+    }
+}
+
+/// The rotation / epoch bucket for a query time.
+fn time_bucket(ctx: &QueryContext, period: Duration) -> u64 {
+    let period = period.as_millis().max(1);
+    ctx.now.as_millis() / period
+}
+
+/// Take `count` pool members starting at `offset`, wrapping around.
+fn take_wrapped(pool: &[IpAddr], offset: usize, count: usize) -> Vec<IpAddr> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let count = count.clamp(1, pool.len());
+    (0..count).map(|i| pool[(offset + i) % pool.len()]).collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{ResolverId, Vantage};
+    use netsim_types::Instant;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn pool(n: u8) -> Vec<IpAddr> {
+        (0..n).map(|i| IpAddr::new(142, 250, 74, i)).collect()
+    }
+
+    fn ctx(resolver: u32, millis: u64) -> QueryContext {
+        QueryContext::new(ResolverId(resolver), Vantage::Europe, Instant::from_millis(millis))
+    }
+
+    #[test]
+    fn static_policy_is_constant() {
+        let p = LoadBalancePolicy::single(IpAddr::new(192, 0, 2, 1));
+        assert_eq!(p.select(&d("x.example"), &ctx(0, 0)), vec![IpAddr::new(192, 0, 2, 1)]);
+        assert_eq!(p.select(&d("y.example"), &ctx(5, 999_999)), vec![IpAddr::new(192, 0, 2, 1)]);
+    }
+
+    #[test]
+    fn rotating_pool_changes_with_time_not_resolver() {
+        let p = LoadBalancePolicy::RotatingPool {
+            pool: pool(4),
+            answer_size: 1,
+            rotation_period: Duration::from_secs(60),
+        };
+        let a0 = p.select(&d("x.example"), &ctx(0, 0));
+        let a1 = p.select(&d("x.example"), &ctx(7, 0));
+        assert_eq!(a0, a1, "same time, different resolver -> same answer");
+        let later = p.select(&d("x.example"), &ctx(0, 60_001));
+        assert_ne!(a0, later, "next rotation period -> next pool member");
+    }
+
+    #[test]
+    fn per_resolver_pool_differs_across_domains_and_resolvers() {
+        let p = LoadBalancePolicy::PerResolverPool {
+            pool: pool(16),
+            answer_size: 1,
+            epoch: Duration::from_mins(30),
+        };
+        let ga = p.select(&d("www.google-analytics.com"), &ctx(1, 0));
+        let gtm = p.select(&d("www.googletagmanager.com"), &ctx(1, 0));
+        assert_ne!(ga, gtm, "independent per-domain balancing");
+        let ga_other_resolver = p.select(&d("www.google-analytics.com"), &ctx(2, 0));
+        assert_ne!(ga, ga_other_resolver, "independent per-resolver balancing");
+        // deterministic within the epoch
+        assert_eq!(ga, p.select(&d("www.google-analytics.com"), &ctx(1, 100)));
+    }
+
+    #[test]
+    fn synchronized_pool_is_domain_agnostic() {
+        let p = LoadBalancePolicy::SynchronizedPool {
+            pool: pool(16),
+            answer_size: 1,
+            epoch: Duration::from_mins(30),
+        };
+        let a = p.select(&d("www.google-analytics.com"), &ctx(1, 0));
+        let b = p.select(&d("www.googletagmanager.com"), &ctx(1, 0));
+        assert_eq!(a, b, "synchronized: all domains land on the same address");
+    }
+
+    #[test]
+    fn vantage_steering_partitions_the_pool() {
+        let p = LoadBalancePolicy::VantageSteered { pool: pool(8), answer_size: 1 };
+        let eu = p.select(
+            &d("x.example"),
+            &QueryContext::new(ResolverId(0), Vantage::Europe, Instant::EPOCH),
+        );
+        let na = p.select(
+            &d("x.example"),
+            &QueryContext::new(ResolverId(0), Vantage::NorthAmerica, Instant::EPOCH),
+        );
+        assert_ne!(eu, na);
+    }
+
+    #[test]
+    fn answer_size_is_clamped_and_empty_pool_is_empty() {
+        let p = LoadBalancePolicy::RotatingPool {
+            pool: pool(3),
+            answer_size: 10,
+            rotation_period: Duration::from_secs(60),
+        };
+        assert_eq!(p.select(&d("x.example"), &ctx(0, 0)).len(), 3);
+        let empty = LoadBalancePolicy::RotatingPool {
+            pool: vec![],
+            answer_size: 2,
+            rotation_period: Duration::from_secs(60),
+        };
+        assert!(empty.select(&d("x.example"), &ctx(0, 0)).is_empty());
+        let zero = LoadBalancePolicy::PerResolverPool {
+            pool: pool(3),
+            answer_size: 0,
+            epoch: Duration::from_secs(60),
+        };
+        assert_eq!(zero.select(&d("x.example"), &ctx(0, 0)).len(), 1);
+    }
+
+    #[test]
+    fn answers_come_from_the_pool() {
+        let p = LoadBalancePolicy::PerResolverPool {
+            pool: pool(16),
+            answer_size: 2,
+            epoch: Duration::from_mins(5),
+        };
+        for r in 0..20 {
+            for addr in p.select(&d("cdn.example"), &ctx(r, 1234)) {
+                assert!(p.pool().contains(&addr));
+            }
+        }
+    }
+}

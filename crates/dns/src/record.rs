@@ -1,0 +1,156 @@
+//! Resource records and answers.
+
+use netsim_types::{DomainName, Duration, Instant, IpAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload of a resource record. Only the types the measurement pipeline
+/// needs are modelled: address records and aliases.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An IPv4 address record.
+    A(IpAddr),
+    /// A canonical-name alias to another domain.
+    Cname(DomainName),
+}
+
+impl RecordData {
+    /// The address if this is an `A` record.
+    pub fn as_a(&self) -> Option<IpAddr> {
+        match self {
+            RecordData::A(ip) => Some(*ip),
+            RecordData::Cname(_) => None,
+        }
+    }
+
+    /// The alias target if this is a `CNAME` record.
+    pub fn as_cname(&self) -> Option<&DomainName> {
+        match self {
+            RecordData::A(_) => None,
+            RecordData::Cname(target) => Some(target),
+        }
+    }
+}
+
+impl fmt::Debug for RecordData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordData::A(ip) => write!(f, "A {ip}"),
+            RecordData::Cname(target) => write!(f, "CNAME {target}"),
+        }
+    }
+}
+
+/// One resource record: owner name, TTL and payload.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// Owner name the record answers for.
+    pub name: DomainName,
+    /// Time-to-live controlling resolver caching.
+    pub ttl: Duration,
+    /// Record payload.
+    pub data: RecordData,
+}
+
+impl ResourceRecord {
+    /// An address record.
+    pub fn a(name: DomainName, ip: IpAddr, ttl: Duration) -> Self {
+        ResourceRecord { name, ttl, data: RecordData::A(ip) }
+    }
+
+    /// An alias record.
+    pub fn cname(name: DomainName, target: DomainName, ttl: Duration) -> Self {
+        ResourceRecord { name, ttl, data: RecordData::Cname(target) }
+    }
+}
+
+impl fmt::Debug for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {:?}", self.name, self.ttl, self.data)
+    }
+}
+
+/// The answer a resolver hands back to a client for an address query:
+/// the resolved addresses (post CNAME chasing), the full CNAME chain that was
+/// followed, and the expiry instant derived from the minimum TTL on the path.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Answer {
+    /// The name originally queried.
+    pub query_name: DomainName,
+    /// The canonical name the query resolved to (equals `query_name` when no
+    /// CNAME was involved).
+    pub canonical_name: DomainName,
+    /// CNAME chain from the query name to the canonical name (exclusive of
+    /// the query name, inclusive of the canonical name), empty when direct.
+    pub cname_chain: Vec<DomainName>,
+    /// The addresses, in the order the authority returned them. Browsers
+    /// typically connect to the first address.
+    pub addresses: Vec<IpAddr>,
+    /// When a cached copy of this answer must be discarded.
+    pub expires_at: Instant,
+}
+
+impl Answer {
+    /// The address a client will connect to (the first one), if any.
+    pub fn primary_address(&self) -> Option<IpAddr> {
+        self.addresses.first().copied()
+    }
+
+    /// `true` if `self` and `other` share at least one address — the overlap
+    /// criterion of the Appendix A.4 probe.
+    pub fn overlaps(&self, other: &Answer) -> bool {
+        self.addresses.iter().any(|a| other.addresses.contains(a))
+    }
+
+    /// `true` if the answer is still valid at `now`.
+    pub fn fresh_at(&self, now: Instant) -> bool {
+        now < self.expires_at
+    }
+}
+
+impl fmt::Debug for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Answer({} -> {} {:?} exp {})",
+            self.query_name, self.canonical_name, self.addresses, self.expires_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    #[test]
+    fn record_constructors_and_accessors() {
+        let a = ResourceRecord::a(d("example.com"), IpAddr::new(192, 0, 2, 1), Duration::from_secs(300));
+        assert_eq!(a.data.as_a(), Some(IpAddr::new(192, 0, 2, 1)));
+        assert_eq!(a.data.as_cname(), None);
+        let c = ResourceRecord::cname(d("www.example.com"), d("example.com"), Duration::from_secs(60));
+        assert_eq!(c.data.as_cname(), Some(&d("example.com")));
+        assert_eq!(c.data.as_a(), None);
+    }
+
+    #[test]
+    fn answer_overlap_and_freshness() {
+        let base = Answer {
+            query_name: d("a.example.com"),
+            canonical_name: d("a.example.com"),
+            cname_chain: vec![],
+            addresses: vec![IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2)],
+            expires_at: Instant::from_millis(10_000),
+        };
+        let overlapping = Answer { addresses: vec![IpAddr::new(10, 0, 0, 2)], ..base.clone() };
+        let disjoint = Answer { addresses: vec![IpAddr::new(10, 0, 0, 9)], ..base.clone() };
+        assert!(base.overlaps(&overlapping));
+        assert!(!base.overlaps(&disjoint));
+        assert_eq!(base.primary_address(), Some(IpAddr::new(10, 0, 0, 1)));
+        assert!(base.fresh_at(Instant::from_millis(9_999)));
+        assert!(!base.fresh_at(Instant::from_millis(10_000)));
+    }
+}

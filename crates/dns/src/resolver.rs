@@ -1,0 +1,331 @@
+//! Recursive resolvers with TTL caches and CNAME chasing.
+//!
+//! The browser in the measurement setup uses "our own recursive resolver";
+//! the Appendix A.4 probe uses 14 public resolvers spread around the world.
+//! Two properties of recursive resolvers matter for the paper's findings:
+//!
+//! 1. **Caches desynchronise answers.** Two domains pointing at the same
+//!    load-balanced pool can be cached at different times, so even a single
+//!    resolver can hold non-overlapping answers for them.
+//! 2. **Resolver identity is part of the load-balancing key.** Authorities
+//!    that hash by resolver hand different pool members to different
+//!    resolvers, so the vantage point changes what the browser connects to.
+
+use crate::authority::Authority;
+use crate::query::{QueryContext, ResolverId, Vantage};
+use crate::record::{Answer, RecordData};
+use netsim_types::{DomainName, Duration, Instant};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maximum CNAME chain length before the resolver gives up (loop protection).
+const MAX_CNAME_DEPTH: usize = 8;
+
+/// Configuration of one recursive resolver.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolverConfig {
+    /// Stable identity, part of the authoritative load-balancing key.
+    pub id: ResolverId,
+    /// Where the resolver sits.
+    pub vantage: Vantage,
+    /// Whether it forwards EDNS Client Subnet (the probe resolvers were
+    /// chosen not to).
+    pub ecs: bool,
+    /// Human-readable operator label (Table 11).
+    pub label: String,
+    /// Cap applied on top of record TTLs (some resolvers clamp TTLs).
+    pub max_ttl: Duration,
+}
+
+impl ResolverConfig {
+    /// A resolver with sensible defaults at the given vantage.
+    pub fn new(id: ResolverId, vantage: Vantage, label: &str) -> Self {
+        ResolverConfig { id, vantage, ecs: false, label: label.to_string(), max_ttl: Duration::from_hours(1) }
+    }
+}
+
+/// Errors a resolution can produce.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolutionError {
+    /// No authoritative data exists for the name.
+    NxDomain(DomainName),
+    /// The name only resolved to a CNAME chain that never reached addresses.
+    NoAddress(DomainName),
+    /// The CNAME chain exceeded [`MAX_CNAME_DEPTH`].
+    CnameLoop(DomainName),
+}
+
+impl std::fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolutionError::NxDomain(d) => write!(f, "NXDOMAIN for {d}"),
+            ResolutionError::NoAddress(d) => write!(f, "no address records for {d}"),
+            ResolutionError::CnameLoop(d) => write!(f, "CNAME chain too long resolving {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// One cached answer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CacheLine {
+    answer: Answer,
+}
+
+/// A caching recursive resolver.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecursiveResolver {
+    config: ResolverConfig,
+    cache: BTreeMap<DomainName, CacheLine>,
+    /// Cumulative statistics, exposed for tests and reports.
+    stats: ResolverStats,
+}
+
+/// Counters describing a resolver's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolverStats {
+    /// Queries answered from cache.
+    pub cache_hits: u64,
+    /// Queries that required contacting the authority.
+    pub cache_misses: u64,
+    /// Resolutions that ended in an error.
+    pub failures: u64,
+}
+
+impl RecursiveResolver {
+    /// Create a resolver from its configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        RecursiveResolver { config, cache: BTreeMap::new(), stats: ResolverStats::default() }
+    }
+
+    /// The resolver's configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Number of cached names.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop every cached answer (the measurement methodology resets caches
+    /// between site visits).
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Resolve `name` to addresses at simulated time `now`, consulting the
+    /// cache first and chasing CNAMEs through `authority` otherwise.
+    pub fn resolve(
+        &mut self,
+        authority: &Authority,
+        name: &DomainName,
+        now: Instant,
+    ) -> Result<Answer, ResolutionError> {
+        if let Some(line) = self.cache.get(name) {
+            if line.answer.fresh_at(now) {
+                self.stats.cache_hits += 1;
+                return Ok(line.answer.clone());
+            }
+        }
+        self.stats.cache_misses += 1;
+        let ctx = QueryContext {
+            resolver: self.config.id,
+            vantage: self.config.vantage,
+            now,
+            ecs: self.config.ecs,
+        };
+        match self.resolve_uncached(authority, name, &ctx) {
+            Ok(answer) => {
+                self.cache.insert(name.clone(), CacheLine { answer: answer.clone() });
+                Ok(answer)
+            }
+            Err(err) => {
+                self.stats.failures += 1;
+                Err(err)
+            }
+        }
+    }
+
+    fn resolve_uncached(
+        &self,
+        authority: &Authority,
+        name: &DomainName,
+        ctx: &QueryContext,
+    ) -> Result<Answer, ResolutionError> {
+        let mut current = name.clone();
+        let mut chain: Vec<DomainName> = Vec::new();
+        let mut min_ttl = self.config.max_ttl;
+        for _ in 0..MAX_CNAME_DEPTH {
+            let records = authority.query(&current, ctx);
+            if records.is_empty() {
+                return if chain.is_empty() {
+                    Err(ResolutionError::NxDomain(name.clone()))
+                } else {
+                    Err(ResolutionError::NoAddress(name.clone()))
+                };
+            }
+            // Either a CNAME (single record) or a set of A records.
+            if let Some(target) = records[0].data.as_cname() {
+                min_ttl = min_duration(min_ttl, records[0].ttl);
+                chain.push(target.clone());
+                current = target.clone();
+                continue;
+            }
+            let mut addresses = Vec::with_capacity(records.len());
+            for record in &records {
+                match &record.data {
+                    RecordData::A(ip) => {
+                        min_ttl = min_duration(min_ttl, record.ttl);
+                        addresses.push(*ip);
+                    }
+                    RecordData::Cname(_) => {}
+                }
+            }
+            if addresses.is_empty() {
+                return Err(ResolutionError::NoAddress(name.clone()));
+            }
+            let effective_ttl = min_duration(min_ttl, self.config.max_ttl);
+            return Ok(Answer {
+                query_name: name.clone(),
+                canonical_name: current,
+                cname_chain: chain,
+                addresses,
+                expires_at: ctx.now + effective_ttl,
+            });
+        }
+        Err(ResolutionError::CnameLoop(name.clone()))
+    }
+}
+
+fn min_duration(a: Duration, b: Duration) -> Duration {
+    if a <= b {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadbalance::LoadBalancePolicy;
+    use crate::zone::ZoneEntry;
+    use netsim_types::IpAddr;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn resolver() -> RecursiveResolver {
+        RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "internal"))
+    }
+
+    fn authority() -> Authority {
+        let mut auth = Authority::new();
+        auth.insert_entry(d("example.com"), ZoneEntry::single(IpAddr::new(192, 0, 2, 1)));
+        auth.insert_entry(d("www.example.com"), ZoneEntry::alias(d("example.com")));
+        auth.insert_entry(d("a.example.com"), ZoneEntry::alias(d("b.example.com")));
+        auth.insert_entry(d("b.example.com"), ZoneEntry::alias(d("a.example.com")));
+        auth.insert_entry(
+            d("lb.example.com"),
+            ZoneEntry::Addresses {
+                policy: LoadBalancePolicy::RotatingPool {
+                    pool: (0..4).map(|i| IpAddr::new(10, 0, 0, i)).collect(),
+                    answer_size: 1,
+                    rotation_period: Duration::from_secs(60),
+                },
+                ttl: Duration::from_secs(30),
+            },
+        );
+        auth
+    }
+
+    #[test]
+    fn resolves_direct_and_via_cname() {
+        let auth = authority();
+        let mut r = resolver();
+        let direct = r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(direct.primary_address(), Some(IpAddr::new(192, 0, 2, 1)));
+        assert!(direct.cname_chain.is_empty());
+        let via = r.resolve(&auth, &d("www.example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(via.canonical_name, d("example.com"));
+        assert_eq!(via.cname_chain, vec![d("example.com")]);
+        assert_eq!(via.primary_address(), Some(IpAddr::new(192, 0, 2, 1)));
+    }
+
+    #[test]
+    fn errors_for_unknown_and_loops() {
+        let auth = authority();
+        let mut r = resolver();
+        assert_eq!(
+            r.resolve(&auth, &d("nx.invalid"), Instant::EPOCH),
+            Err(ResolutionError::NxDomain(d("nx.invalid")))
+        );
+        assert_eq!(
+            r.resolve(&auth, &d("a.example.com"), Instant::EPOCH),
+            Err(ResolutionError::CnameLoop(d("a.example.com")))
+        );
+        assert_eq!(r.stats().failures, 2);
+    }
+
+    #[test]
+    fn cache_hit_until_ttl_expires() {
+        let auth = authority();
+        let mut r = resolver();
+        let t0 = Instant::EPOCH;
+        let first = r.resolve(&auth, &d("lb.example.com"), t0).unwrap();
+        // Within the 30 s TTL: cached, identical answer even though the
+        // rotation period has advanced.
+        let t1 = t0 + Duration::from_secs(25) + Duration::from_secs(45);
+        let _ = t1;
+        let cached = r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(20)).unwrap();
+        assert_eq!(first.addresses, cached.addresses);
+        assert_eq!(r.stats().cache_hits, 1);
+        assert_eq!(r.stats().cache_misses, 1);
+        // After expiry the authority is asked again and rotation has moved on.
+        let refreshed = r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(120)).unwrap();
+        assert_ne!(first.addresses, refreshed.addresses);
+        assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn flush_cache_forces_requery() {
+        let auth = authority();
+        let mut r = resolver();
+        r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.cache_len(), 1);
+        r.flush_cache();
+        assert_eq!(r.cache_len(), 0);
+        r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn two_resolvers_can_hold_different_answers() {
+        // The unsynchronized pool hands different members to different
+        // resolver ids — the mechanism behind the paper's IP cause.
+        let mut auth = Authority::new();
+        auth.insert_entry(
+            d("www.google-analytics.com"),
+            ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
+                pool: (0..32).map(|i| IpAddr::new(142, 250, 74, i)).collect(),
+                answer_size: 1,
+                epoch: Duration::from_mins(30),
+            }),
+        );
+        let mut r1 = RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "a"));
+        let mut r2 = RecursiveResolver::new(ResolverConfig::new(ResolverId(2), Vantage::Europe, "b"));
+        let a1 = r1.resolve(&auth, &d("www.google-analytics.com"), Instant::EPOCH).unwrap();
+        let a2 = r2.resolve(&auth, &d("www.google-analytics.com"), Instant::EPOCH).unwrap();
+        assert_ne!(a1.addresses, a2.addresses);
+        // But both stay within the same /24 — the paper's observation.
+        assert!(a1.primary_address().unwrap().same_slash24(a2.primary_address().unwrap()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # connreuse-experiments
+//!
+//! The experiment harness: every table and figure of the paper's evaluation,
+//! regenerated end-to-end from the simulated measurement pipeline.
+//!
+//! The harness builds two site populations (an HTTP-Archive-shaped one and an
+//! Alexa-shaped one) plus a shared "overlap" population, crawls them with the
+//! browser configurations the paper uses (stock Chromium, Chromium without
+//! the Fetch credentials flag, the HTTP-Archive HAR pipeline), classifies the
+//! resulting datasets with [`connreuse_core`], and renders the same tables
+//! and series the paper publishes:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `headline` | §5.1 headline percentages and connection lifetimes |
+//! | `figure2`  | redundant-connections-per-site survival function |
+//! | `table1`   | cause counts per dataset and duration model |
+//! | `table2` / `table12` | top `IP` origins with reusable previous origins |
+//! | `table3` / `table4`  | `CERT` issuers and domains |
+//! | `table5`   | issuer share over all connections |
+//! | `table6`   | ASes behind the `IP` cause |
+//! | `table7`–`table10` | the dataset-overlap re-analysis |
+//! | `table11` / `figure3` | the DNS probe panel and overlap time series |
+//! | `filters`  | the §4.3 HAR filter statistics |
+//!
+//! Run everything with `cargo run -p connreuse-experiments --bin repro --release -- all`.
+
+pub mod paper;
+pub mod render;
+pub mod runner;
+pub mod scenario;
+
+pub use render::TextTable;
+pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
+pub use scenario::{Scenario, ScenarioConfig};

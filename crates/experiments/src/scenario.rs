@@ -1,0 +1,145 @@
+//! Scenario construction: populations, crawls and datasets shared by every
+//! experiment.
+
+use connreuse_core::{dataset_from_crawl, dataset_from_har, Dataset};
+use netsim_browser::{BrowserConfig, Crawler};
+use netsim_har::{ArchivePipeline, FilterStatistics};
+use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};
+use serde::{Deserialize, Serialize};
+
+/// Sizing and seeding of the simulated measurement campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of sites in the HTTP-Archive-shaped population (paper: 6.24 M).
+    pub archive_sites: usize,
+    /// Number of sites in the Alexa-shaped population (paper: 100 k).
+    pub alexa_sites: usize,
+    /// Number of sites in the shared "overlap" population (paper: 29.53 k
+    /// sites common to both lists).
+    pub overlap_sites: usize,
+    /// Root seed for all stochastic choices.
+    pub seed: u64,
+    /// Worker threads for the crawls.
+    pub threads: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            archive_sites: 3_000,
+            alexa_sites: 1_500,
+            overlap_sites: 600,
+            seed: 20_210_420,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small configuration for tests and micro-benchmarks.
+    pub fn quick() -> Self {
+        ScenarioConfig { archive_sites: 300, alexa_sites: 180, overlap_sites: 80, ..ScenarioConfig::default() }
+    }
+}
+
+/// Everything the experiments operate on: the generated environments and the
+/// four measured datasets (plus the two overlap crawls).
+#[derive(Debug)]
+pub struct Scenario {
+    /// The configuration the scenario was built with.
+    pub config: ScenarioConfig,
+    /// The HTTP-Archive-shaped population.
+    pub archive_env: WebEnvironment,
+    /// The Alexa-shaped population.
+    pub alexa_env: WebEnvironment,
+    /// The shared population used for the overlap analysis.
+    pub overlap_env: WebEnvironment,
+    /// The HAR corpus of the archive population, after the §4.3 filter.
+    pub har: Dataset,
+    /// Filter bookkeeping of the HAR corpus.
+    pub har_filter_statistics: FilterStatistics,
+    /// The own-measurement crawl of the Alexa population (stock Chromium).
+    pub alexa: Dataset,
+    /// The patched crawl of the Alexa population (Fetch credentials ignored).
+    pub alexa_without_fetch: Dataset,
+    /// The overlap population measured through the HAR pipeline.
+    pub overlap_har: Dataset,
+    /// The overlap population measured like the own Alexa crawl.
+    pub overlap_alexa: Dataset,
+}
+
+impl Scenario {
+    /// Build the full scenario: three populations, four crawls, two HAR
+    /// pipelines.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let archive_env =
+            PopulationBuilder::new(PopulationProfile::archive(), config.archive_sites, config.seed).build();
+        let alexa_env =
+            PopulationBuilder::new(PopulationProfile::alexa(), config.alexa_sites, config.seed + 1).build();
+        let overlap_env =
+            PopulationBuilder::new(PopulationProfile::alexa(), config.overlap_sites, config.seed + 2).build();
+
+        let mut har_corpus = ArchivePipeline::new(config.seed).with_threads(config.threads).run(&archive_env);
+        let har_filter_statistics = har_corpus.filter();
+        let har = dataset_from_har(&har_corpus, "HAR");
+
+        let alexa_report = Crawler::new("Alexa", BrowserConfig::alexa_measurement(), config.seed + 10)
+            .with_threads(config.threads)
+            .crawl(&alexa_env);
+        let alexa = dataset_from_crawl(&alexa_report);
+
+        let patched_report =
+            Crawler::new("Alexa w/o Fetch", BrowserConfig::alexa_without_fetch(), config.seed + 10)
+                .with_threads(config.threads)
+                .crawl(&alexa_env);
+        let alexa_without_fetch = dataset_from_crawl(&patched_report);
+
+        let mut overlap_har_corpus =
+            ArchivePipeline::new(config.seed + 20).with_threads(config.threads).run(&overlap_env);
+        overlap_har_corpus.filter();
+        let overlap_har = dataset_from_har(&overlap_har_corpus, "HAR Overlap");
+
+        let overlap_report = Crawler::new("Alexa Overlap", BrowserConfig::alexa_measurement(), config.seed + 21)
+            .with_threads(config.threads)
+            .crawl(&overlap_env);
+        let overlap_alexa = dataset_from_crawl(&overlap_report);
+
+        Scenario {
+            config,
+            archive_env,
+            alexa_env,
+            overlap_env,
+            har,
+            har_filter_statistics,
+            alexa,
+            alexa_without_fetch,
+            overlap_har,
+            overlap_alexa,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_builds_consistent_datasets() {
+        let scenario = Scenario::build(ScenarioConfig::quick());
+        assert_eq!(scenario.har.sites.len(), scenario.config.archive_sites);
+        assert_eq!(scenario.alexa.sites.len(), scenario.config.alexa_sites);
+        assert_eq!(scenario.alexa_without_fetch.sites.len(), scenario.config.alexa_sites);
+        assert_eq!(scenario.overlap_har.sites.len(), scenario.config.overlap_sites);
+        assert_eq!(scenario.overlap_alexa.sites.len(), scenario.config.overlap_sites);
+        assert!(scenario.har_filter_statistics.total_entries > 0);
+        assert!(scenario.alexa.total_connections() > scenario.alexa.http2_site_count());
+        // The patched crawl never opens more connections than the stock one.
+        assert!(scenario.alexa_without_fetch.total_connections() <= scenario.alexa.total_connections());
+        // Both overlap crawls cover the same sites.
+        let har_sites: std::collections::BTreeSet<_> =
+            scenario.overlap_har.sites.iter().map(|s| s.site.clone()).collect();
+        let alexa_sites: std::collections::BTreeSet<_> =
+            scenario.overlap_alexa.sites.iter().map(|s| s.site.clone()).collect();
+        assert_eq!(har_sites, alexa_sites);
+    }
+}

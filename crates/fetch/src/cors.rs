@@ -1,0 +1,90 @@
+//! A minimal CORS check.
+//!
+//! Third-party services that expect CORS requests (fonts, analytics APIs)
+//! answer with `Access-Control-Allow-Origin`. The browser model uses this
+//! check to decide whether a CORS-mode response is delivered to the page;
+//! failed checks do not change connection accounting (the connection was
+//! already opened) but are recorded in the HAR output.
+
+use netsim_types::Origin;
+use serde::{Deserialize, Serialize};
+
+/// The server side: what a resource announces in
+/// `Access-Control-Allow-Origin` (and whether it allows credentials).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorsPolicy {
+    /// No CORS headers at all — cross-origin CORS requests fail.
+    None,
+    /// `Access-Control-Allow-Origin: *` (credentials never allowed).
+    AllowAny,
+    /// Reflects the request origin; optionally allows credentials.
+    AllowOrigin {
+        /// Value of `Access-Control-Allow-Credentials`.
+        allow_credentials: bool,
+    },
+}
+
+/// The outcome of the CORS check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorsCheck {
+    /// The response may be shared with the requesting origin.
+    Allowed,
+    /// The response is blocked.
+    Blocked,
+}
+
+impl CorsPolicy {
+    /// Run the CORS check for a request from `requester` that did or did not
+    /// include credentials.
+    pub fn check(&self, requester: &Origin, with_credentials: bool) -> CorsCheck {
+        let _ = requester; // the reflected-origin policy allows every origin
+        match self {
+            CorsPolicy::None => CorsCheck::Blocked,
+            CorsPolicy::AllowAny => {
+                if with_credentials {
+                    // `*` is invalid when credentials are included.
+                    CorsCheck::Blocked
+                } else {
+                    CorsCheck::Allowed
+                }
+            }
+            CorsPolicy::AllowOrigin { allow_credentials } => {
+                if with_credentials && !allow_credentials {
+                    CorsCheck::Blocked
+                } else {
+                    CorsCheck::Allowed
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_types::DomainName;
+
+    fn origin() -> Origin {
+        Origin::https(DomainName::literal("example.com"))
+    }
+
+    #[test]
+    fn no_policy_blocks() {
+        assert_eq!(CorsPolicy::None.check(&origin(), false), CorsCheck::Blocked);
+    }
+
+    #[test]
+    fn wildcard_allows_only_anonymous() {
+        assert_eq!(CorsPolicy::AllowAny.check(&origin(), false), CorsCheck::Allowed);
+        assert_eq!(CorsPolicy::AllowAny.check(&origin(), true), CorsCheck::Blocked);
+    }
+
+    #[test]
+    fn reflected_origin_respects_credentials_flag() {
+        let strict = CorsPolicy::AllowOrigin { allow_credentials: false };
+        assert_eq!(strict.check(&origin(), true), CorsCheck::Blocked);
+        assert_eq!(strict.check(&origin(), false), CorsCheck::Allowed);
+        let relaxed = CorsPolicy::AllowOrigin { allow_credentials: true };
+        assert_eq!(relaxed.check(&origin(), true), CorsCheck::Allowed);
+    }
+}

@@ -1,0 +1,132 @@
+//! The credentials-inclusion decision and connection-pool partitioning.
+//!
+//! Fetch §4.6/§4.7 sends credentials (cookies, client certificates, HTTP
+//! auth) with a request when its credentials mode is `include`, or when it is
+//! `same-origin` and the request is same-origin with its initiator. Chromium
+//! then keys its HTTP/2 session pool on the *privacy mode* derived from that
+//! decision: sessions that carried credentials are never shared with
+//! credential-less requests and vice versa, "otherwise the existing
+//! connection would be tainted with identifying information" (paper §3,
+//! cause `CRED`).
+
+use crate::request::{CredentialsMode, FetchRequest};
+use serde::{Deserialize, Serialize};
+
+/// The two connection-pool partitions Chromium derives from the credentials
+/// decision (`privacy_mode` in `//net`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CredentialsPartition {
+    /// Requests that include credentials.
+    Credentialed,
+    /// Requests that must not be linked to credentials ("privacy mode
+    /// enabled" in Chromium's terms).
+    Anonymous,
+}
+
+impl CredentialsPartition {
+    /// `true` for the credentialed partition.
+    pub fn is_credentialed(self) -> bool {
+        self == CredentialsPartition::Credentialed
+    }
+}
+
+/// Whether a request includes credentials per Fetch §4.6 step 8 / §2.5.
+pub fn includes_credentials(request: &FetchRequest) -> bool {
+    match request.credentials {
+        CredentialsMode::Include => true,
+        CredentialsMode::Omit => false,
+        CredentialsMode::SameOrigin => request.is_same_origin(),
+    }
+}
+
+/// The pool partition a request lands in.
+pub fn partition_for(request: &FetchRequest) -> CredentialsPartition {
+    if includes_credentials(request) {
+        CredentialsPartition::Credentialed
+    } else {
+        CredentialsPartition::Anonymous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestDestination;
+    use netsim_types::{DomainName, Origin};
+
+    fn o(host: &str) -> Origin {
+        Origin::https(DomainName::literal(host))
+    }
+
+    #[test]
+    fn navigation_is_credentialed() {
+        let nav = FetchRequest::navigation(DomainName::literal("example.com"));
+        assert!(includes_credentials(&nav));
+        assert_eq!(partition_for(&nav), CredentialsPartition::Credentialed);
+        assert!(partition_for(&nav).is_credentialed());
+    }
+
+    #[test]
+    fn cross_origin_font_is_anonymous() {
+        // The canonical CRED trigger: fonts.gstatic.com font fetched from a
+        // page on another origin — CORS + same-origin credentials, which
+        // cross-origin means "omit".
+        let font = FetchRequest::with_defaults(
+            o("fonts.gstatic.com"),
+            "/s/roboto/v30/font.woff2",
+            o("example.com"),
+            RequestDestination::Font,
+        );
+        assert!(!includes_credentials(&font));
+        assert_eq!(partition_for(&font), CredentialsPartition::Anonymous);
+    }
+
+    #[test]
+    fn same_origin_font_keeps_credentials() {
+        let font = FetchRequest::with_defaults(
+            o("example.com"),
+            "/fonts/brand.woff2",
+            o("example.com"),
+            RequestDestination::Font,
+        );
+        assert!(includes_credentials(&font));
+    }
+
+    #[test]
+    fn cross_origin_nocors_image_keeps_credentials() {
+        // Plain <img> to a third party: no-cors + include, so cookies go
+        // along — this request shares the credentialed pool.
+        let pixel = FetchRequest::with_defaults(
+            o("www.facebook.com"),
+            "/tr?id=pixel",
+            o("example.com"),
+            RequestDestination::Image,
+        );
+        assert!(includes_credentials(&pixel));
+    }
+
+    #[test]
+    fn anonymous_script_is_partitioned_away() {
+        let script = FetchRequest::with_defaults(
+            o("cdn.example.com"),
+            "/lib.js",
+            o("example.com"),
+            RequestDestination::Script,
+        )
+        .anonymous();
+        assert!(!includes_credentials(&script));
+        assert_eq!(partition_for(&script), CredentialsPartition::Anonymous);
+    }
+
+    #[test]
+    fn explicit_omit_is_always_anonymous() {
+        let mut xhr = FetchRequest::with_defaults(
+            o("example.com"),
+            "/api",
+            o("example.com"),
+            RequestDestination::Xhr,
+        );
+        xhr.credentials = CredentialsMode::Omit;
+        assert!(!includes_credentials(&xhr));
+    }
+}

@@ -1,0 +1,33 @@
+//! # netsim-fetch
+//!
+//! A model of the parts of the WHATWG Fetch Standard that govern connection
+//! reuse in Chromium.
+//!
+//! The paper's `CRED` cause is entirely a product of this standard: even when
+//! RFC 7540 would allow a request to ride an existing connection (same IP,
+//! SAN-covered domain), Fetch §2.5 / §4.6 / §4.7 require the browser to keep
+//! **credentialed and credential-less requests on separate connections** so
+//! that an anonymous request cannot be linked to a cookie-bearing one. The
+//! classic trigger is a cross-origin font or `crossorigin=anonymous` script:
+//! its credentials mode resolves to "omit credentials", which lands it in a
+//! different connection-pool partition (Chromium's `privacy_mode`) than the
+//! page's own credentialed requests — and a second connection to the same
+//! server is opened.
+//!
+//! * [`request`] — request destinations, modes and credentials modes with the
+//!   defaults HTML assigns to each resource kind,
+//! * [`credentials`] — the credentials-inclusion decision and the resulting
+//!   pool partition key,
+//! * [`tainting`] — response tainting (basic / cors / opaque),
+//! * [`cors`] — a minimal CORS check used by the browser model when a
+//!   cross-origin resource requires it.
+
+pub mod cors;
+pub mod credentials;
+pub mod request;
+pub mod tainting;
+
+pub use cors::{CorsCheck, CorsPolicy};
+pub use credentials::{CredentialsPartition, includes_credentials, partition_for};
+pub use request::{CredentialsMode, FetchRequest, RequestDestination, RequestMode};
+pub use tainting::ResponseTainting;

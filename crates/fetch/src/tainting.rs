@@ -1,0 +1,87 @@
+//! Response tainting (Fetch §3.6 / §4.1).
+//!
+//! Tainting does not itself open connections, but it is part of the request
+//! bookkeeping the paper references ("depending, e.g., on a request's
+//! tainting type") and it feeds the browser's decision whether a cross-origin
+//! response may be read by scripts. The simulation records it per request so
+//! HAR output carries the same vocabulary real tooling shows.
+
+use crate::request::{FetchRequest, RequestMode};
+use serde::{Deserialize, Serialize};
+
+/// The three tainting outcomes of the Fetch main algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ResponseTainting {
+    /// Same-origin (or navigation): the response is fully readable.
+    Basic,
+    /// Cross-origin with a successful CORS check: readable.
+    Cors,
+    /// Cross-origin without CORS (`no-cors`): the response is opaque.
+    Opaque,
+}
+
+impl ResponseTainting {
+    /// The tainting a request acquires, assuming any required CORS check
+    /// succeeds.
+    pub fn for_request(request: &FetchRequest) -> ResponseTainting {
+        if request.is_same_origin() {
+            return ResponseTainting::Basic;
+        }
+        match request.mode {
+            RequestMode::Navigate | RequestMode::SameOrigin => ResponseTainting::Basic,
+            RequestMode::Cors => ResponseTainting::Cors,
+            RequestMode::NoCors => ResponseTainting::Opaque,
+        }
+    }
+
+    /// `true` if response headers and body are visible to the initiator.
+    pub fn is_readable(self) -> bool {
+        self != ResponseTainting::Opaque
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestDestination;
+    use netsim_types::{DomainName, Origin};
+
+    fn o(host: &str) -> Origin {
+        Origin::https(DomainName::literal(host))
+    }
+
+    #[test]
+    fn same_origin_is_basic() {
+        let req = FetchRequest::with_defaults(o("example.com"), "/a.js", o("example.com"), RequestDestination::Script);
+        assert_eq!(ResponseTainting::for_request(&req), ResponseTainting::Basic);
+        assert!(ResponseTainting::Basic.is_readable());
+    }
+
+    #[test]
+    fn cross_origin_nocors_is_opaque() {
+        let req =
+            FetchRequest::with_defaults(o("cdn.example.net"), "/a.js", o("example.com"), RequestDestination::Script);
+        assert_eq!(ResponseTainting::for_request(&req), ResponseTainting::Opaque);
+        assert!(!ResponseTainting::Opaque.is_readable());
+    }
+
+    #[test]
+    fn cross_origin_cors_is_cors() {
+        let req = FetchRequest::with_defaults(
+            o("fonts.gstatic.com"),
+            "/font.woff2",
+            o("example.com"),
+            RequestDestination::Font,
+        );
+        assert_eq!(ResponseTainting::for_request(&req), ResponseTainting::Cors);
+        assert!(ResponseTainting::Cors.is_readable());
+    }
+
+    #[test]
+    fn navigation_is_basic_even_cross_origin() {
+        let mut nav = FetchRequest::navigation(DomainName::literal("example.com"));
+        nav.url_origin = o("other.example.org");
+        assert_eq!(ResponseTainting::for_request(&nav), ResponseTainting::Basic);
+    }
+}

@@ -1,0 +1,357 @@
+//! An HTTP/2 connection (session) as the browser sees it.
+//!
+//! The connection object carries everything the reuse decision and the later
+//! analysis need: the destination IP and port, the TLS certificate presented
+//! during the handshake, the domain the connection was initially opened for,
+//! whether requests on it carry credentials (the Fetch "privacy mode"
+//! partition), which domains the server refused with HTTP 421, an optional
+//! RFC 8336 origin set, and the stream/transfer bookkeeping that the HAR and
+//! NetLog substrates serialise.
+
+use crate::hpack::{Header, HpackContext};
+use crate::settings::Settings;
+use crate::stream::{StreamId, StreamState};
+use netsim_tls::Certificate;
+use netsim_types::{ConnectionId, DomainName, Instant, IpAddr, Origin};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Lifecycle state of a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectionState {
+    /// Established and usable for new streams.
+    Open,
+    /// The server sent GOAWAY: existing streams finish, no new streams.
+    GoingAway,
+    /// Fully closed.
+    Closed,
+}
+
+/// Errors from connection operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConnectionError {
+    /// A new stream was requested but the connection no longer accepts any.
+    NotAcceptingStreams(ConnectionState),
+    /// The peer's MAX_CONCURRENT_STREAMS limit is reached.
+    ConcurrencyLimit(u32),
+    /// The referenced stream does not exist.
+    UnknownStream(StreamId),
+}
+
+impl fmt::Display for ConnectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectionError::NotAcceptingStreams(state) => {
+                write!(f, "connection in state {state:?} does not accept new streams")
+            }
+            ConnectionError::ConcurrencyLimit(limit) => {
+                write!(f, "peer concurrency limit of {limit} streams reached")
+            }
+            ConnectionError::UnknownStream(id) => write!(f, "unknown {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectionError {}
+
+/// One HTTP/2 session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Connection {
+    /// Identifier, equal to the socket id recorded in HAR files.
+    pub id: ConnectionId,
+    /// The origin whose request caused this connection to be opened.
+    pub initial_origin: Origin,
+    /// Destination address the transport connected to.
+    pub remote_ip: IpAddr,
+    /// Destination port.
+    pub port: u16,
+    /// The certificate the server presented for the SNI of `initial_origin`.
+    pub certificate: Certificate,
+    /// Whether requests on this connection include credentials (cookies /
+    /// client certificates). Under the Fetch Standard, credentialed and
+    /// credential-less requests must not share a connection.
+    pub credentialed: bool,
+    /// When the connection became usable.
+    pub established_at: Instant,
+    /// When it was closed, if it has been.
+    pub closed_at: Option<Instant>,
+    /// Lifecycle state.
+    pub state: ConnectionState,
+    /// Our settings.
+    pub local_settings: Settings,
+    /// The peer's settings.
+    pub remote_settings: Settings,
+    /// Domains the server answered with HTTP 421 (Misdirected Request):
+    /// excluded from future reuse on this connection.
+    pub excluded_domains: BTreeSet<DomainName>,
+    /// The origin set announced via an RFC 8336 ORIGIN frame, if any.
+    pub origin_set: Option<BTreeSet<DomainName>>,
+    streams: BTreeMap<StreamId, StreamState>,
+    next_stream: StreamId,
+    encoder: HpackContext,
+    /// Number of requests sent on this connection.
+    pub requests_sent: u64,
+    /// Total encoded header octets sent.
+    pub header_octets_sent: u64,
+    /// Total body octets received.
+    pub body_octets_received: u64,
+}
+
+impl Connection {
+    /// Establish a connection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn establish(
+        id: ConnectionId,
+        initial_origin: Origin,
+        remote_ip: IpAddr,
+        certificate: Certificate,
+        credentialed: bool,
+        established_at: Instant,
+        remote_settings: Settings,
+    ) -> Self {
+        let port = initial_origin.port;
+        Connection {
+            id,
+            initial_origin,
+            remote_ip,
+            port,
+            certificate,
+            credentialed,
+            established_at,
+            closed_at: None,
+            state: ConnectionState::Open,
+            local_settings: Settings::chromium_client(),
+            remote_settings,
+            excluded_domains: BTreeSet::new(),
+            origin_set: None,
+            streams: BTreeMap::new(),
+            next_stream: StreamId::FIRST_CLIENT,
+            encoder: HpackContext::default(),
+            requests_sent: 0,
+            header_octets_sent: 0,
+            body_octets_received: 0,
+        }
+    }
+
+    /// The domain the connection was initially opened for.
+    pub fn initial_domain(&self) -> &DomainName {
+        &self.initial_origin.host
+    }
+
+    /// Number of currently open (not closed) streams.
+    pub fn open_streams(&self) -> usize {
+        self.streams.values().filter(|s| !s.is_closed()).count()
+    }
+
+    /// Total streams ever opened.
+    pub fn total_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` if a new stream can be opened right now.
+    pub fn can_open_stream(&self) -> bool {
+        self.state == ConnectionState::Open
+            && (self.open_streams() as u32) < self.remote_settings.max_concurrent_streams
+    }
+
+    /// Send a request for `authority`/`path`, opening a new stream. Returns
+    /// the stream id. The header block is HPACK-encoded against the
+    /// connection's encoder context so repeated requests get cheaper.
+    pub fn send_request(
+        &mut self,
+        authority: &DomainName,
+        path: &str,
+        cookie: Option<&str>,
+    ) -> Result<StreamId, ConnectionError> {
+        if self.state != ConnectionState::Open {
+            return Err(ConnectionError::NotAcceptingStreams(self.state));
+        }
+        if self.open_streams() as u32 >= self.remote_settings.max_concurrent_streams {
+            return Err(ConnectionError::ConcurrencyLimit(self.remote_settings.max_concurrent_streams));
+        }
+        let stream_id = self.next_stream;
+        self.next_stream = self.next_stream.next_same_peer();
+        let headers: Vec<Header> = HpackContext::request_headers(authority.as_str(), path, cookie);
+        let encoded = self.encoder.encode_block_size(&headers);
+        self.header_octets_sent += encoded as u64;
+        self.requests_sent += 1;
+        let state = StreamState::Idle
+            .send_headers(true)
+            .expect("idle stream always accepts HEADERS");
+        self.streams.insert(stream_id, state);
+        Ok(stream_id)
+    }
+
+    /// Record the response for `stream`: status code and body size. A 421
+    /// response marks `domain` as excluded from reuse on this connection.
+    pub fn complete_response(
+        &mut self,
+        stream: StreamId,
+        domain: &DomainName,
+        status: u16,
+        body_octets: u64,
+    ) -> Result<(), ConnectionError> {
+        let state = self.streams.get_mut(&stream).ok_or(ConnectionError::UnknownStream(stream))?;
+        *state = state.receive_end_stream().unwrap_or(StreamState::Closed);
+        self.body_octets_received += body_octets;
+        if status == 421 {
+            self.excluded_domains.insert(domain.clone());
+        }
+        Ok(())
+    }
+
+    /// Handle a received ORIGIN frame: replace the origin set.
+    pub fn receive_origin_set(&mut self, origins: impl IntoIterator<Item = DomainName>) {
+        self.origin_set = Some(origins.into_iter().collect());
+    }
+
+    /// Handle a received GOAWAY.
+    pub fn receive_goaway(&mut self) {
+        if self.state == ConnectionState::Open {
+            self.state = ConnectionState::GoingAway;
+        }
+    }
+
+    /// Close the connection at `now`.
+    pub fn close(&mut self, now: Instant) {
+        self.state = ConnectionState::Closed;
+        if self.closed_at.is_none() {
+            self.closed_at = Some(now);
+        }
+    }
+
+    /// `true` if the connection is usable for new requests at `now` (it has
+    /// been established and not yet closed).
+    pub fn is_open_at(&self, now: Instant) -> bool {
+        now >= self.established_at && self.closed_at.map(|closed| now < closed).unwrap_or(true)
+            && self.state != ConnectionState::Closed
+    }
+
+    /// The connection's lifetime, if it has closed.
+    pub fn lifetime(&self) -> Option<netsim_types::Duration> {
+        self.closed_at.map(|closed| closed - self.established_at)
+    }
+
+    /// `true` if the presented certificate covers `domain` and the server has
+    /// not excluded it via 421.
+    pub fn covers_domain(&self, domain: &DomainName) -> bool {
+        !self.excluded_domains.contains(domain) && self.certificate.covers(domain)
+    }
+
+    /// The HPACK compression ratio achieved on this connection so far.
+    pub fn header_compression_ratio(&self) -> f64 {
+        self.encoder.compression_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_tls::{CertificateStore, IssuancePolicy, Issuer};
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn certificate_for(domains: &[&str]) -> Certificate {
+        let mut store = CertificateStore::new();
+        let names: Vec<DomainName> = domains.iter().map(|s| d(s)).collect();
+        let ids = store.issue_with_policy(
+            Issuer::digicert(),
+            &IssuancePolicy::SharedSan,
+            &names,
+            Instant::EPOCH,
+        );
+        store.get(ids[0]).unwrap().clone()
+    }
+
+    fn connection() -> Connection {
+        Connection::establish(
+            ConnectionId(1),
+            Origin::https(d("www.example.com")),
+            IpAddr::new(192, 0, 2, 10),
+            certificate_for(&["www.example.com", "img.example.com"]),
+            true,
+            Instant::EPOCH,
+            Settings::default(),
+        )
+    }
+
+    #[test]
+    fn establish_and_send_requests() {
+        let mut conn = connection();
+        assert!(conn.can_open_stream());
+        let s1 = conn.send_request(&d("www.example.com"), "/", Some("sid=1")).unwrap();
+        let s2 = conn.send_request(&d("img.example.com"), "/logo.png", None).unwrap();
+        assert_eq!(s1, StreamId::new(1));
+        assert_eq!(s2, StreamId::new(3));
+        assert_eq!(conn.open_streams(), 2);
+        assert_eq!(conn.requests_sent, 2);
+        conn.complete_response(s1, &d("www.example.com"), 200, 15_000).unwrap();
+        assert_eq!(conn.open_streams(), 1);
+        assert_eq!(conn.body_octets_received, 15_000);
+    }
+
+    #[test]
+    fn concurrency_limit_is_enforced() {
+        let mut conn = connection();
+        conn.remote_settings.max_concurrent_streams = 2;
+        conn.send_request(&d("www.example.com"), "/a", None).unwrap();
+        conn.send_request(&d("www.example.com"), "/b", None).unwrap();
+        let err = conn.send_request(&d("www.example.com"), "/c", None).unwrap_err();
+        assert_eq!(err, ConnectionError::ConcurrencyLimit(2));
+    }
+
+    #[test]
+    fn http_421_excludes_domain_from_reuse() {
+        let mut conn = connection();
+        assert!(conn.covers_domain(&d("img.example.com")));
+        let s = conn.send_request(&d("img.example.com"), "/x.png", None).unwrap();
+        conn.complete_response(s, &d("img.example.com"), 421, 0).unwrap();
+        assert!(!conn.covers_domain(&d("img.example.com")));
+        assert!(conn.covers_domain(&d("www.example.com")));
+    }
+
+    #[test]
+    fn goaway_then_close_lifecycle() {
+        let mut conn = connection();
+        conn.receive_goaway();
+        assert_eq!(conn.state, ConnectionState::GoingAway);
+        assert!(conn.send_request(&d("www.example.com"), "/", None).is_err());
+        assert!(conn.is_open_at(Instant::from_millis(100)));
+        conn.close(Instant::from_millis(5000));
+        assert!(!conn.is_open_at(Instant::from_millis(6000)));
+        assert_eq!(conn.lifetime().unwrap().as_millis(), 5000);
+        assert_eq!(conn.state, ConnectionState::Closed);
+    }
+
+    #[test]
+    fn unknown_stream_errors() {
+        let mut conn = connection();
+        let err = conn.complete_response(StreamId::new(99), &d("www.example.com"), 200, 0).unwrap_err();
+        assert_eq!(err, ConnectionError::UnknownStream(StreamId::new(99)));
+    }
+
+    #[test]
+    fn origin_set_replaces_previous() {
+        let mut conn = connection();
+        assert!(conn.origin_set.is_none());
+        conn.receive_origin_set([d("a.example.com"), d("b.example.com")]);
+        conn.receive_origin_set([d("c.example.com")]);
+        let set = conn.origin_set.as_ref().unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&d("c.example.com")));
+    }
+
+    #[test]
+    fn header_compression_improves_over_connection_lifetime() {
+        let mut conn = connection();
+        for i in 0..10 {
+            let s = conn.send_request(&d("www.example.com"), &format!("/asset-{i}.js"), None).unwrap();
+            conn.complete_response(s, &d("www.example.com"), 200, 500).unwrap();
+        }
+        assert!(conn.header_compression_ratio() < 0.5);
+        assert!(conn.header_octets_sent > 0);
+    }
+}

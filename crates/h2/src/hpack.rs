@@ -1,0 +1,340 @@
+//! A compact HPACK model (RFC 7541).
+//!
+//! The paper (and the related work it cites, e.g. Marx et al.) points out
+//! that one hidden cost of redundant connections is that **header compression
+//! loses its dictionary**: every new connection starts with an empty dynamic
+//! table, so the first requests on it pay full header bytes again. This
+//! module implements enough of HPACK — the static table, a FIFO dynamic table
+//! with size accounting, indexed and literal representations with integer
+//! prefix coding — to measure that effect, while skipping Huffman coding
+//! (sizes are reported un-Huffman-coded, a conservative over-estimate on both
+//! sides of any comparison).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One HTTP header field.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Header {
+    /// Lower-case field name (pseudo-headers keep their leading `:`).
+    pub name: String,
+    /// Field value.
+    pub value: String,
+}
+
+impl Header {
+    /// Construct a header, lower-casing the name.
+    pub fn new(name: &str, value: &str) -> Self {
+        Header { name: name.to_ascii_lowercase(), value: value.to_string() }
+    }
+
+    /// The HPACK size of the entry: name + value + 32 octets of overhead
+    /// (RFC 7541 §4.1).
+    pub fn hpack_size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+impl fmt::Debug for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.value)
+    }
+}
+
+/// The portion of the RFC 7541 Appendix A static table that request encoding
+/// actually hits, with original indices preserved.
+const STATIC_TABLE: &[(usize, &str, &str)] = &[
+    (1, ":authority", ""),
+    (2, ":method", "GET"),
+    (3, ":method", "POST"),
+    (4, ":path", "/"),
+    (5, ":path", "/index.html"),
+    (6, ":scheme", "http"),
+    (7, ":scheme", "https"),
+    (8, ":status", "200"),
+    (13, ":status", "404"),
+    (14, ":status", "500"),
+    (15, "accept-charset", ""),
+    (16, "accept-encoding", "gzip, deflate"),
+    (17, "accept-language", ""),
+    (19, "accept", ""),
+    (23, "cache-control", ""),
+    (28, "content-length", ""),
+    (31, "content-type", ""),
+    (32, "cookie", ""),
+    (33, "date", ""),
+    (38, "host", ""),
+    (46, "referer", ""),
+    (58, "user-agent", ""),
+];
+
+/// Number of entries in the full RFC 7541 static table.
+const STATIC_TABLE_LEN: usize = 61;
+
+/// Default maximum dynamic-table size (SETTINGS_HEADER_TABLE_SIZE default).
+pub const DEFAULT_DYNAMIC_TABLE_SIZE: usize = 4096;
+
+/// How a single header field was represented on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum Representation {
+    /// Fully indexed (static or dynamic table hit).
+    Indexed(usize),
+    /// Literal with incremental indexing; the name may be indexed.
+    LiteralWithIndexing { name_index: Option<usize> },
+}
+
+/// One endpoint's HPACK encoder/decoder state (the dynamic table).
+///
+/// The simulation uses a shared context per connection direction; encoding a
+/// header list both returns the encoded size and updates the table exactly as
+/// a real encoder would, so repeated requests on the *same* connection get
+/// cheaper while a *new* connection starts from scratch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HpackContext {
+    dynamic: Vec<Header>,
+    max_size: usize,
+    current_size: usize,
+    /// Total octets that crossed the wire through this context.
+    pub encoded_octets: u64,
+    /// Octets the headers would have cost uncompressed (name: value\r\n).
+    pub uncompressed_octets: u64,
+}
+
+impl Default for HpackContext {
+    fn default() -> Self {
+        Self::new(DEFAULT_DYNAMIC_TABLE_SIZE)
+    }
+}
+
+impl HpackContext {
+    /// A context with the given maximum dynamic-table size.
+    pub fn new(max_size: usize) -> Self {
+        HpackContext {
+            dynamic: Vec::new(),
+            max_size,
+            current_size: 0,
+            encoded_octets: 0,
+            uncompressed_octets: 0,
+        }
+    }
+
+    /// Number of entries currently in the dynamic table.
+    pub fn dynamic_entries(&self) -> usize {
+        self.dynamic.len()
+    }
+
+    /// Current dynamic-table size in octets (RFC 7541 accounting).
+    pub fn dynamic_size(&self) -> usize {
+        self.current_size
+    }
+
+    /// The compression ratio achieved so far (encoded / uncompressed), or 1.0
+    /// if nothing has been encoded.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.uncompressed_octets == 0 {
+            1.0
+        } else {
+            self.encoded_octets as f64 / self.uncompressed_octets as f64
+        }
+    }
+
+    fn lookup(&self, header: &Header) -> Representation {
+        // Exact match in the static table?
+        for (index, name, value) in STATIC_TABLE {
+            if *name == header.name && *value == header.value && !value.is_empty() {
+                return Representation::Indexed(*index);
+            }
+        }
+        // Exact match in the dynamic table? Index space continues after the
+        // static table (most recent insertion = lowest dynamic index).
+        for (offset, entry) in self.dynamic.iter().enumerate() {
+            if entry == header {
+                return Representation::Indexed(STATIC_TABLE_LEN + 1 + offset);
+            }
+        }
+        // Name-only match (static first, then dynamic)?
+        let name_index = STATIC_TABLE
+            .iter()
+            .find(|(_, name, _)| *name == header.name)
+            .map(|(index, _, _)| *index)
+            .or_else(|| {
+                self.dynamic
+                    .iter()
+                    .position(|entry| entry.name == header.name)
+                    .map(|offset| STATIC_TABLE_LEN + 1 + offset)
+            });
+        Representation::LiteralWithIndexing { name_index }
+    }
+
+    fn insert(&mut self, header: Header) {
+        let size = header.hpack_size();
+        if size > self.max_size {
+            // An oversized entry empties the table (RFC 7541 §4.4).
+            self.dynamic.clear();
+            self.current_size = 0;
+            return;
+        }
+        while self.current_size + size > self.max_size {
+            if let Some(evicted) = self.dynamic.pop() {
+                self.current_size -= evicted.hpack_size();
+            } else {
+                break;
+            }
+        }
+        self.current_size += size;
+        self.dynamic.insert(0, header);
+    }
+
+    /// Encode a header list, updating the dynamic table, and return the
+    /// number of octets the encoded block occupies.
+    pub fn encode_block_size(&mut self, headers: &[Header]) -> usize {
+        let mut total = 0usize;
+        for header in headers {
+            let representation = self.lookup(header);
+            total += match representation {
+                Representation::Indexed(index) => integer_octets(index as u64, 7),
+                Representation::LiteralWithIndexing { name_index } => {
+                    let name_cost = match name_index {
+                        Some(index) => integer_octets(index as u64, 6),
+                        None => 1 + string_octets(header.name.len()),
+                    };
+                    let value_cost = string_octets(header.value.len());
+                    self.insert(header.clone());
+                    name_cost + value_cost
+                }
+            };
+            self.uncompressed_octets += (header.name.len() + header.value.len() + 4) as u64;
+        }
+        self.encoded_octets += total as u64;
+        total
+    }
+
+    /// The standard request pseudo-header block for an HTTPS GET.
+    pub fn request_headers(authority: &str, path: &str, with_cookie: Option<&str>) -> Vec<Header> {
+        let mut headers = vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":authority", authority),
+            Header::new(":path", path),
+            Header::new("user-agent", "Mozilla/5.0 (X11; Linux x86_64) Chromium/87.0.4280.88"),
+            Header::new("accept", "*/*"),
+            Header::new("accept-encoding", "gzip, deflate, br"),
+            Header::new("accept-language", "en-US,en;q=0.9"),
+        ];
+        if let Some(cookie) = with_cookie {
+            headers.push(Header::new("cookie", cookie));
+        }
+        headers
+    }
+}
+
+/// Octets needed for an HPACK prefix-coded integer with an `n`-bit prefix.
+fn integer_octets(value: u64, prefix_bits: u32) -> usize {
+    let max_prefix = (1u64 << prefix_bits) - 1;
+    if value < max_prefix {
+        1
+    } else {
+        let mut rest = value - max_prefix;
+        let mut octets = 1;
+        loop {
+            octets += 1;
+            if rest < 128 {
+                break;
+            }
+            rest /= 128;
+        }
+        octets
+    }
+}
+
+/// Octets for a literal string: length prefix (7-bit) plus the raw bytes
+/// (no Huffman coding).
+fn string_octets(len: usize) -> usize {
+    integer_octets(len as u64, 7) + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(authority: &str) -> Vec<Header> {
+        HpackContext::request_headers(authority, "/script.js", None)
+    }
+
+    #[test]
+    fn integer_prefix_coding_sizes() {
+        assert_eq!(integer_octets(10, 5), 1);
+        assert_eq!(integer_octets(31, 5), 2); // 31 == 2^5 - 1 needs a continuation
+        assert_eq!(integer_octets(1337, 5), 3);
+        assert_eq!(integer_octets(62, 7), 1);
+    }
+
+    #[test]
+    fn repeated_requests_on_one_connection_compress_better() {
+        let mut ctx = HpackContext::default();
+        let first = ctx.encode_block_size(&request("www.example.com"));
+        let second = ctx.encode_block_size(&request("www.example.com"));
+        assert!(second < first, "second block ({second}) should be smaller than first ({first})");
+        // All fields are now table hits: the block is a handful of index octets.
+        assert!(second <= request("www.example.com").len() * 3);
+    }
+
+    #[test]
+    fn new_connection_restarts_the_dictionary() {
+        let mut long_lived = HpackContext::default();
+        long_lived.encode_block_size(&request("www.example.com"));
+        let warm = long_lived.encode_block_size(&request("www.example.com"));
+        // A fresh context (= a redundant connection) pays the full price again.
+        let mut fresh = HpackContext::default();
+        let cold = fresh.encode_block_size(&request("www.example.com"));
+        assert!(cold > warm * 3, "cold={cold} warm={warm}");
+    }
+
+    #[test]
+    fn dynamic_table_eviction_respects_size_limit() {
+        let mut ctx = HpackContext::new(200);
+        for i in 0..50 {
+            ctx.encode_block_size(&[Header::new("x-custom-header", &format!("value-{i}"))]);
+            assert!(ctx.dynamic_size() <= 200);
+        }
+        assert!(ctx.dynamic_entries() <= 4);
+    }
+
+    #[test]
+    fn oversized_entry_clears_the_table() {
+        let mut ctx = HpackContext::new(64);
+        ctx.encode_block_size(&[Header::new("a", "b")]);
+        assert_eq!(ctx.dynamic_entries(), 1);
+        let huge_value = "v".repeat(500);
+        ctx.encode_block_size(&[Header::new("huge", &huge_value)]);
+        assert_eq!(ctx.dynamic_entries(), 0);
+        assert_eq!(ctx.dynamic_size(), 0);
+    }
+
+    #[test]
+    fn static_table_hits_cost_one_octet() {
+        let mut ctx = HpackContext::default();
+        let size = ctx.encode_block_size(&[Header::new(":method", "GET"), Header::new(":scheme", "https")]);
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn compression_ratio_improves_with_reuse() {
+        let mut ctx = HpackContext::default();
+        ctx.encode_block_size(&request("shop.example.org"));
+        let early = ctx.compression_ratio();
+        for _ in 0..20 {
+            ctx.encode_block_size(&request("shop.example.org"));
+        }
+        assert!(ctx.compression_ratio() < early);
+        assert!(ctx.compression_ratio() < 0.3);
+    }
+
+    #[test]
+    fn cookie_header_is_included_when_credentialed() {
+        let with = HpackContext::request_headers("example.com", "/", Some("sid=abc"));
+        let without = HpackContext::request_headers("example.com", "/", None);
+        assert_eq!(with.len(), without.len() + 1);
+        assert!(with.iter().any(|h| h.name == "cookie"));
+    }
+}

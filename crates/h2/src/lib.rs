@@ -1,0 +1,36 @@
+//! # netsim-h2
+//!
+//! An HTTP/2 substrate for the `connreuse` simulation.
+//!
+//! The paper studies when browsers open *more than one* HTTP/2 connection
+//! even though RFC 7540 was designed around a single multiplexed connection
+//! per server. To reason about that, the simulation needs a faithful model of
+//! the protocol pieces that govern connection reuse:
+//!
+//! * [`frame`] — the HTTP/2 framing layer (RFC 7540 §4/§6) plus the ORIGIN
+//!   frame of RFC 8336, with a binary codec over [`bytes`],
+//! * [`hpack`] — a compact HPACK model (static table + dynamic table) so the
+//!   cost of restarting header compression on redundant connections can be
+//!   quantified,
+//! * [`settings`] — connection settings exchanged in SETTINGS frames,
+//! * [`stream`] — the per-stream state machine (§5.1),
+//! * [`connection`] — an HTTP/2 session: stream bookkeeping, flow control,
+//!   the TLS certificate presented at establishment, the ORIGIN set, 421
+//!   exclusions and GOAWAY handling,
+//! * [`reuse`] — the §9.1.1 Connection Reuse predicate that decides whether a
+//!   request for another domain may ride an existing connection, and a
+//!   diagnosis of *why not* when it may not (the paper's CERT / IP causes).
+
+pub mod connection;
+pub mod frame;
+pub mod hpack;
+pub mod reuse;
+pub mod settings;
+pub mod stream;
+
+pub use connection::{Connection, ConnectionError, ConnectionState};
+pub use frame::{Frame, FrameDecodeError, FrameType, OriginEntry};
+pub use hpack::{Header, HpackContext};
+pub use reuse::{ReuseDecision, ReuseRefusal};
+pub use settings::Settings;
+pub use stream::{StreamError, StreamId, StreamState};

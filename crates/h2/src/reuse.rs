@@ -1,0 +1,325 @@
+//! The RFC 7540 §9.1.1 Connection Reuse predicate.
+//!
+//! A request for origin `O` may be sent on an existing connection `C` when
+//!
+//! 1. the scheme and port match,
+//! 2. `C`'s destination IP equals the IP that `O`'s host resolves to, and
+//! 3. the certificate presented on `C` is valid for `O`'s host,
+//!
+//! unless the server has excluded the host via HTTP 421. RFC 8336 extends
+//! this: if the server announced an origin set, membership in the set can
+//! substitute for the IP equality check. On top of the RFC rules, browsers
+//! following the WHATWG Fetch Standard additionally require the *credentials
+//! partition* to match — the mechanism behind the paper's `CRED` cause.
+//!
+//! [`evaluate`] returns either `Reusable` or the complete list of reasons
+//! reuse fails. Keeping *all* failing conditions (not just the first) is what
+//! allows the analysis layer to attribute one redundant connection to several
+//! root causes, exactly as described in §4.1 of the paper.
+
+use crate::connection::{Connection, ConnectionState};
+use netsim_types::{DomainName, IpAddr, Origin};
+use serde::{Deserialize, Serialize};
+
+/// A single reason why an existing connection cannot serve a new request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReuseRefusal {
+    /// Scheme or port differ.
+    SchemePortMismatch,
+    /// The new request's host resolves to a different destination IP
+    /// (and no origin-set membership overrides it) — the paper's `IP` cause.
+    IpMismatch,
+    /// The connection's certificate does not cover the host — the `CERT`
+    /// cause.
+    CertificateMismatch,
+    /// The server answered 421 for this host earlier on this connection.
+    ExcludedByServer,
+    /// The server announced an RFC 8336 origin set that does not contain the
+    /// host, so the client should not coalesce onto this connection.
+    NotInOriginSet,
+    /// The Fetch Standard credentials partition differs (credentialed vs.
+    /// credential-less) — the `CRED` cause.
+    CredentialsMismatch,
+    /// The connection is draining (GOAWAY received) or closed.
+    NotAcceptingStreams,
+    /// The peer's concurrent-stream limit leaves no room for another stream.
+    ConcurrencyExhausted,
+}
+
+/// The outcome of a reuse check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReuseDecision {
+    /// The request may ride the existing connection.
+    Reusable,
+    /// The request may not; every failing condition is listed.
+    Refused(Vec<ReuseRefusal>),
+}
+
+impl ReuseDecision {
+    /// `true` if reuse is allowed.
+    pub fn is_reusable(&self) -> bool {
+        matches!(self, ReuseDecision::Reusable)
+    }
+
+    /// The refusal reasons (empty when reusable).
+    pub fn refusals(&self) -> &[ReuseRefusal] {
+        match self {
+            ReuseDecision::Reusable => &[],
+            ReuseDecision::Refused(reasons) => reasons,
+        }
+    }
+
+    /// `true` if `reason` is among the refusals.
+    pub fn refused_because(&self, reason: ReuseRefusal) -> bool {
+        self.refusals().contains(&reason)
+    }
+}
+
+/// Policy knobs governing the reuse check. Defaults model Chromium 87 as used
+/// in the paper's measurements: the Fetch credentials partition is enforced
+/// and ORIGIN frames are ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReusePolicy {
+    /// Enforce the Fetch Standard credentials partition ("privacy mode").
+    /// Disabling this reproduces the paper's "Alexa w/o Fetch" run.
+    pub follow_fetch_credentials: bool,
+    /// Honour RFC 8336 ORIGIN frames (Chromium does not).
+    pub honor_origin_frame: bool,
+    /// Require the destination IP to match (the RFC rule). Only disabled in
+    /// what-if ablations together with `honor_origin_frame`.
+    pub require_ip_match: bool,
+}
+
+impl Default for ReusePolicy {
+    fn default() -> Self {
+        ReusePolicy { follow_fetch_credentials: true, honor_origin_frame: false, require_ip_match: true }
+    }
+}
+
+impl ReusePolicy {
+    /// The Chromium-87 behaviour used in the paper's main measurement.
+    pub fn chromium() -> Self {
+        ReusePolicy::default()
+    }
+
+    /// Chromium patched to ignore the Fetch credentials flag (the paper's
+    /// second Alexa run, "Alexa w/o Fetch").
+    pub fn chromium_without_fetch() -> Self {
+        ReusePolicy { follow_fetch_credentials: false, ..ReusePolicy::default() }
+    }
+
+    /// A hypothetical client that fully implements RFC 8336.
+    pub fn with_origin_frame() -> Self {
+        ReusePolicy { honor_origin_frame: true, ..ReusePolicy::default() }
+    }
+}
+
+/// Evaluate whether `connection` can carry a request for `target` origin that
+/// resolves to `target_ip` and whose Fetch credentials mode is
+/// `request_credentialed`.
+pub fn evaluate(
+    connection: &Connection,
+    target: &Origin,
+    target_ip: IpAddr,
+    request_credentialed: bool,
+    policy: &ReusePolicy,
+) -> ReuseDecision {
+    let mut refusals: Vec<ReuseRefusal> = Vec::new();
+
+    if !connection.initial_origin.same_scheme_port(target) {
+        refusals.push(ReuseRefusal::SchemePortMismatch);
+    }
+
+    if connection.state != ConnectionState::Open {
+        refusals.push(ReuseRefusal::NotAcceptingStreams);
+    } else if !connection.can_open_stream() {
+        refusals.push(ReuseRefusal::ConcurrencyExhausted);
+    }
+
+    if connection.excluded_domains.contains(&target.host) {
+        refusals.push(ReuseRefusal::ExcludedByServer);
+    }
+
+    if !connection.certificate.covers(&target.host) {
+        refusals.push(ReuseRefusal::CertificateMismatch);
+    }
+
+    let origin_set_match = origin_set_contains(connection, &target.host);
+    if policy.honor_origin_frame {
+        if let Some(contains) = origin_set_match {
+            if !contains {
+                refusals.push(ReuseRefusal::NotInOriginSet);
+            }
+            // Membership substitutes for the IP check; absence already
+            // refused above, so the IP rule is skipped either way.
+        } else if policy.require_ip_match && connection.remote_ip != target_ip {
+            refusals.push(ReuseRefusal::IpMismatch);
+        }
+    } else if policy.require_ip_match && connection.remote_ip != target_ip {
+        refusals.push(ReuseRefusal::IpMismatch);
+    }
+
+    if policy.follow_fetch_credentials && connection.credentialed != request_credentialed {
+        refusals.push(ReuseRefusal::CredentialsMismatch);
+    }
+
+    if refusals.is_empty() {
+        ReuseDecision::Reusable
+    } else {
+        refusals.sort_unstable();
+        refusals.dedup();
+        ReuseDecision::Refused(refusals)
+    }
+}
+
+/// Whether the connection's origin set (if announced) contains `host`.
+fn origin_set_contains(connection: &Connection, host: &DomainName) -> Option<bool> {
+    connection.origin_set.as_ref().map(|set| set.contains(host))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::Connection;
+    use crate::settings::Settings;
+    use netsim_tls::{CertificateStore, IssuancePolicy, Issuer};
+    use netsim_types::{ConnectionId, Instant};
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn conn(cert_domains: &[&str], ip: IpAddr, credentialed: bool) -> Connection {
+        let mut store = CertificateStore::new();
+        let names: Vec<DomainName> = cert_domains.iter().map(|s| d(s)).collect();
+        let ids =
+            store.issue_with_policy(Issuer::google_trust_services(), &IssuancePolicy::SharedSan, &names, Instant::EPOCH);
+        Connection::establish(
+            ConnectionId(1),
+            Origin::https(names[0].clone()),
+            ip,
+            store.get(ids[0]).unwrap().clone(),
+            credentialed,
+            Instant::EPOCH,
+            Settings::default(),
+        )
+    }
+
+    const IP_A: IpAddr = IpAddr::new(142, 250, 74, 10);
+    const IP_B: IpAddr = IpAddr::new(142, 250, 74, 77);
+
+    #[test]
+    fn reusable_when_everything_matches() {
+        let c = conn(&["www.googletagmanager.com", "www.google-analytics.com"], IP_A, true);
+        let decision = evaluate(
+            &c,
+            &Origin::https(d("www.google-analytics.com")),
+            IP_A,
+            true,
+            &ReusePolicy::chromium(),
+        );
+        assert!(decision.is_reusable());
+        assert!(decision.refusals().is_empty());
+    }
+
+    #[test]
+    fn ip_mismatch_is_the_paper_ip_cause() {
+        let c = conn(&["www.googletagmanager.com", "www.google-analytics.com"], IP_A, true);
+        let decision = evaluate(
+            &c,
+            &Origin::https(d("www.google-analytics.com")),
+            IP_B,
+            true,
+            &ReusePolicy::chromium(),
+        );
+        assert_eq!(decision, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
+    }
+
+    #[test]
+    fn certificate_mismatch_is_the_cert_cause() {
+        let c = conn(&["static.klaviyo.com"], IP_A, true);
+        let decision =
+            evaluate(&c, &Origin::https(d("fast.a.klaviyo.com")), IP_A, true, &ReusePolicy::chromium());
+        assert_eq!(decision, ReuseDecision::Refused(vec![ReuseRefusal::CertificateMismatch]));
+    }
+
+    #[test]
+    fn credentials_partition_is_the_cred_cause() {
+        let c = conn(&["fonts.gstatic.com", "www.gstatic.com"], IP_A, true);
+        // Cross-origin font fetch: no credentials, same IP, covered by SAN.
+        let strict = evaluate(&c, &Origin::https(d("fonts.gstatic.com")), IP_A, false, &ReusePolicy::chromium());
+        assert_eq!(strict, ReuseDecision::Refused(vec![ReuseRefusal::CredentialsMismatch]));
+        // The patched browser ("Alexa w/o Fetch") reuses it.
+        let patched = evaluate(
+            &c,
+            &Origin::https(d("fonts.gstatic.com")),
+            IP_A,
+            false,
+            &ReusePolicy::chromium_without_fetch(),
+        );
+        assert!(patched.is_reusable());
+    }
+
+    #[test]
+    fn multiple_reasons_are_all_reported() {
+        let c = conn(&["static.klaviyo.com"], IP_A, true);
+        let decision =
+            evaluate(&c, &Origin::https(d("fast.a.klaviyo.com")), IP_B, false, &ReusePolicy::chromium());
+        assert!(decision.refused_because(ReuseRefusal::CertificateMismatch));
+        assert!(decision.refused_because(ReuseRefusal::IpMismatch));
+        assert!(decision.refused_because(ReuseRefusal::CredentialsMismatch));
+        assert_eq!(decision.refusals().len(), 3);
+    }
+
+    #[test]
+    fn http_421_exclusion_blocks_reuse() {
+        let mut c = conn(&["www.example.com", "api.example.com"], IP_A, true);
+        let stream = c.send_request(&d("api.example.com"), "/v1", None).unwrap();
+        c.complete_response(stream, &d("api.example.com"), 421, 0).unwrap();
+        let decision = evaluate(&c, &Origin::https(d("api.example.com")), IP_A, true, &ReusePolicy::chromium());
+        assert!(decision.refused_because(ReuseRefusal::ExcludedByServer));
+    }
+
+    #[test]
+    fn origin_frame_substitutes_for_ip_match_when_honored() {
+        let mut c = conn(&["cdn.example.com", "img.example.com"], IP_A, true);
+        c.receive_origin_set([d("img.example.com")]);
+        // Different IP, but origin-set membership + cert coverage suffice
+        // when the client honours RFC 8336.
+        let honored =
+            evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &ReusePolicy::with_origin_frame());
+        assert!(honored.is_reusable());
+        // Chromium ignores the frame, so the IP mismatch still refuses reuse.
+        let chromium = evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &ReusePolicy::chromium());
+        assert_eq!(chromium, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
+    }
+
+    #[test]
+    fn origin_frame_restricts_non_members() {
+        let mut c = conn(&["cdn.example.com", "img.example.com", "other.example.com"], IP_A, true);
+        c.receive_origin_set([d("img.example.com")]);
+        let decision =
+            evaluate(&c, &Origin::https(d("other.example.com")), IP_A, true, &ReusePolicy::with_origin_frame());
+        assert!(decision.refused_because(ReuseRefusal::NotInOriginSet));
+    }
+
+    #[test]
+    fn scheme_port_and_lifecycle_checks() {
+        let mut c = conn(&["www.example.com"], IP_A, true);
+        let other_port = Origin::new(netsim_types::Scheme::Https, d("www.example.com"), 8443);
+        let decision = evaluate(&c, &other_port, IP_A, true, &ReusePolicy::chromium());
+        assert!(decision.refused_because(ReuseRefusal::SchemePortMismatch));
+        c.receive_goaway();
+        let draining = evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
+        assert!(draining.refused_because(ReuseRefusal::NotAcceptingStreams));
+    }
+
+    #[test]
+    fn concurrency_exhaustion_refuses_reuse() {
+        let mut c = conn(&["www.example.com"], IP_A, true);
+        c.remote_settings.max_concurrent_streams = 1;
+        c.send_request(&d("www.example.com"), "/", None).unwrap();
+        let decision = evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
+        assert!(decision.refused_because(ReuseRefusal::ConcurrencyExhausted));
+    }
+}

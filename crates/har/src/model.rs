@@ -1,0 +1,199 @@
+//! The HAR document model (the subset the analysis needs).
+//!
+//! Field names follow the HAR 1.2 specification plus the Chrome-specific
+//! `_securityDetails` / `_protocol` extensions the HTTP Archive exposes, so
+//! exported JSON looks like (a trimmed-down version of) the real corpus.
+
+use netsim_types::{DomainName, Instant};
+use serde::{Deserialize, Serialize};
+
+/// TLS details attached to an entry (Chrome's `_securityDetails`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SecurityDetails {
+    /// Certificate subject common name.
+    pub subject_name: String,
+    /// Subject Alternative Names (exact and wildcard entries, textual form).
+    pub san_list: Vec<String>,
+    /// Issuer organisation.
+    pub issuer: String,
+}
+
+/// One page in the HAR log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct HarPage {
+    /// Page identifier referenced by entries.
+    pub id: String,
+    /// Page URL.
+    pub title: String,
+    /// Start time (simulation milliseconds since the epoch).
+    pub started_date_time: u64,
+}
+
+/// One request/response pair in the HAR log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct HarEntry {
+    /// The page this entry belongs to.
+    pub pageref: String,
+    /// Request start time (simulation milliseconds since the epoch).
+    pub started_date_time: u64,
+    /// HTTP request method.
+    pub method: String,
+    /// Full request URL.
+    pub url: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response body size in octets.
+    pub body_size: i64,
+    /// Negotiated protocol (`h2`, `h3`, `http/1.1`).
+    #[serde(rename = "_protocol")]
+    pub protocol: String,
+    /// Destination address as dotted quad ("" when the logger lost it).
+    #[serde(rename = "serverIPAddress")]
+    pub server_ip_address: String,
+    /// Socket / connection identifier ("0" when unknown, as for QUIC).
+    pub connection: String,
+    /// TLS details, absent for the entries §4.3 reports as lacking them.
+    #[serde(rename = "_securityDetails", skip_serializing_if = "Option::is_none")]
+    pub security_details: Option<SecurityDetails>,
+}
+
+impl HarEntry {
+    /// The host part of the entry URL, if it parses.
+    pub fn host(&self) -> Option<DomainName> {
+        let rest = self.url.strip_prefix("https://").or_else(|| self.url.strip_prefix("http://"))?;
+        let host = rest.split('/').next().unwrap_or(rest);
+        let host = host.split(':').next().unwrap_or(host);
+        DomainName::parse(host).ok()
+    }
+
+    /// The request start as a simulation [`Instant`].
+    pub fn started_at(&self) -> Instant {
+        Instant::from_millis(self.started_date_time)
+    }
+
+    /// `true` if the entry claims HTTP/2.
+    pub fn is_http2(&self) -> bool {
+        self.protocol == "h2"
+    }
+}
+
+/// One HAR document: the log for one page visit.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct HarDocument {
+    /// Log creator, kept for fidelity with real HAR files.
+    pub creator: String,
+    /// Pages (the capture always has exactly one).
+    pub pages: Vec<HarPage>,
+    /// Entries, in request order.
+    pub entries: Vec<HarEntry>,
+}
+
+impl HarDocument {
+    /// The landing-page URL of the document, if present.
+    pub fn landing_url(&self) -> Option<&str> {
+        self.pages.first().map(|p| p.title.as_str())
+    }
+
+    /// The landing-page host, if it parses.
+    pub fn landing_domain(&self) -> Option<DomainName> {
+        let url = self.landing_url()?;
+        let rest = url.strip_prefix("https://")?;
+        DomainName::parse(rest.split('/').next().unwrap_or(rest)).ok()
+    }
+
+    /// Total wall-clock span from the page start to the last entry start —
+    /// the "load time" used to pick the median of three loads.
+    pub fn load_time_ms(&self) -> u64 {
+        let start = self.pages.first().map(|p| p.started_date_time).unwrap_or(0);
+        let last = self.entries.iter().map(|e| e.started_date_time).max().unwrap_or(start);
+        last.saturating_sub(start)
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("HAR documents always serialise")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HarDocument {
+        HarDocument {
+            creator: "connreuse-sim".to_string(),
+            pages: vec![HarPage {
+                id: "page_1".to_string(),
+                title: "https://example.com/".to_string(),
+                started_date_time: 1_000,
+            }],
+            entries: vec![
+                HarEntry {
+                    pageref: "page_1".to_string(),
+                    started_date_time: 1_010,
+                    method: "GET".to_string(),
+                    url: "https://example.com/".to_string(),
+                    status: 200,
+                    body_size: 40_000,
+                    protocol: "h2".to_string(),
+                    server_ip_address: "20.0.0.10".to_string(),
+                    connection: "1".to_string(),
+                    security_details: Some(SecurityDetails {
+                        subject_name: "example.com".to_string(),
+                        san_list: vec!["example.com".to_string(), "www.example.com".to_string()],
+                        issuer: "Let's Encrypt".to_string(),
+                    }),
+                },
+                HarEntry {
+                    pageref: "page_1".to_string(),
+                    started_date_time: 1_150,
+                    method: "GET".to_string(),
+                    url: "https://www.google-analytics.com/analytics.js".to_string(),
+                    status: 200,
+                    body_size: 50_000,
+                    protocol: "h2".to_string(),
+                    server_ip_address: "20.0.1.11".to_string(),
+                    connection: "2".to_string(),
+                    security_details: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = sample();
+        let json = doc.to_json();
+        assert!(json.contains("\"_securityDetails\""));
+        assert!(json.contains("\"serverIPAddress\""));
+        assert!(json.contains("\"_protocol\""));
+        let parsed = HarDocument::from_json(&json).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn entry_accessors() {
+        let doc = sample();
+        assert_eq!(doc.landing_domain().unwrap().as_str(), "example.com");
+        assert_eq!(doc.load_time_ms(), 150);
+        assert_eq!(doc.entries[1].host().unwrap().as_str(), "www.google-analytics.com");
+        assert!(doc.entries[0].is_http2());
+        assert_eq!(doc.entries[0].started_at(), Instant::from_millis(1_010));
+    }
+
+    #[test]
+    fn malformed_urls_yield_no_host() {
+        let mut entry = sample().entries[0].clone();
+        entry.url = "not a url".to_string();
+        assert!(entry.host().is_none());
+    }
+}

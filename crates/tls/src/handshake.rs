@@ -1,0 +1,115 @@
+//! TLS handshake cost model.
+//!
+//! Section 2.1 of the paper motivates connection reuse with the latency price
+//! of every additional connection: one RTT for the TCP handshake plus one or
+//! two more for TLS, plus slow-start. The browser substrate charges this cost
+//! when it opens a connection so that page-load timelines (and the ablation
+//! benches quantifying the price of redundancy) are meaningful.
+
+use netsim_types::Duration;
+use serde::{Deserialize, Serialize};
+
+/// TLS protocol version; determines the number of handshake round trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlsVersion {
+    /// TLS 1.2 — 2 round trips for a full handshake.
+    Tls12,
+    /// TLS 1.3 — 1 round trip for a full handshake.
+    Tls13,
+}
+
+impl TlsVersion {
+    /// Full-handshake round trips for this version.
+    pub const fn handshake_rtts(self) -> u32 {
+        match self {
+            TlsVersion::Tls12 => 2,
+            TlsVersion::Tls13 => 1,
+        }
+    }
+}
+
+/// Parameters of the connection-establishment cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HandshakeConfig {
+    /// TLS version spoken by both endpoints.
+    pub version: TlsVersion,
+    /// Whether TLS session resumption (or 0-RTT) skips one round trip.
+    pub session_resumption: bool,
+    /// Whether the transport is QUIC (combines transport + TLS handshake).
+    pub quic: bool,
+}
+
+impl Default for HandshakeConfig {
+    fn default() -> Self {
+        // The measurement setup: Chromium 87 with QUIC disabled, TLS 1.3,
+        // cold caches (caches are reset between visits, so no resumption).
+        HandshakeConfig { version: TlsVersion::Tls13, session_resumption: false, quic: false }
+    }
+}
+
+impl HandshakeConfig {
+    /// Number of network round trips needed before the first HTTP request can
+    /// be sent on a *new* connection.
+    pub fn setup_rtts(&self) -> u32 {
+        if self.quic {
+            // QUIC merges transport and crypto handshakes; 0-RTT resumes.
+            if self.session_resumption {
+                0
+            } else {
+                1
+            }
+        } else {
+            let tcp = 1;
+            let tls = if self.session_resumption {
+                self.version.handshake_rtts().saturating_sub(1).max(0)
+            } else {
+                self.version.handshake_rtts()
+            };
+            tcp + tls
+        }
+    }
+
+    /// The wall-clock setup latency for a path with round-trip time `rtt`.
+    pub fn setup_latency(&self, rtt: Duration) -> Duration {
+        rtt.times(self.setup_rtts() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tls13_full_handshake_is_two_rtts_over_tcp() {
+        let cfg = HandshakeConfig::default();
+        assert_eq!(cfg.setup_rtts(), 2); // 1 TCP + 1 TLS1.3
+        assert_eq!(cfg.setup_latency(Duration::from_millis(50)), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn tls12_adds_a_round_trip() {
+        let cfg = HandshakeConfig { version: TlsVersion::Tls12, ..Default::default() };
+        assert_eq!(cfg.setup_rtts(), 3);
+    }
+
+    #[test]
+    fn resumption_saves_a_round_trip() {
+        let cfg = HandshakeConfig { session_resumption: true, ..Default::default() };
+        assert_eq!(cfg.setup_rtts(), 1);
+        let cfg12 = HandshakeConfig {
+            version: TlsVersion::Tls12,
+            session_resumption: true,
+            quic: false,
+        };
+        assert_eq!(cfg12.setup_rtts(), 2);
+    }
+
+    #[test]
+    fn quic_merges_handshakes() {
+        let quic = HandshakeConfig { quic: true, ..Default::default() };
+        assert_eq!(quic.setup_rtts(), 1);
+        let zero_rtt = HandshakeConfig { quic: true, session_resumption: true, ..Default::default() };
+        assert_eq!(zero_rtt.setup_rtts(), 0);
+        assert_eq!(zero_rtt.setup_latency(Duration::from_millis(80)), Duration::ZERO);
+    }
+}

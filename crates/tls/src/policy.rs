@@ -1,0 +1,177 @@
+//! Issuance policies — how an operator groups its domains into certificates.
+//!
+//! The paper's `CERT` cause exists because operators who shard a site across
+//! subdomains sometimes request a *separate* certificate per subdomain (the
+//! default behaviour of a naïve certbot setup) instead of one certificate
+//! listing all shards or a wildcard. This module encodes those choices so the
+//! population generator can produce both kinds of deployments and the
+//! ablation benches can flip between them.
+
+use crate::certificate::SanEntry;
+use netsim_types::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// How a set of domains served by one operator is partitioned into
+/// certificates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum IssuancePolicy {
+    /// One certificate listing every domain as a SAN entry. Connection reuse
+    /// across the domains is possible whenever they share an IP.
+    SharedSan,
+    /// One certificate per domain — the sharding-hostile default that produces
+    /// the paper's `CERT` cause.
+    PerDomain,
+    /// A single wildcard certificate `*.zone` (plus the zone apex). Covers
+    /// one-level shards such as `img.zone` but not `a.b.zone`.
+    Wildcard {
+        /// The zone whose direct children the wildcard covers.
+        zone: DomainName,
+    },
+    /// The first `group_size` domains share a certificate, the next
+    /// `group_size` share another one, and so on. Models operators that merge
+    /// *some* shards (e.g. Google ads domains spread over a few certs).
+    Grouped {
+        /// Number of domains per certificate (minimum 1).
+        group_size: usize,
+    },
+}
+
+impl IssuancePolicy {
+    /// Partition `domains` into per-certificate SAN lists according to the
+    /// policy. The order of `domains` is preserved inside each group.
+    pub fn partition(&self, domains: &[DomainName]) -> Vec<Vec<SanEntry>> {
+        match self {
+            IssuancePolicy::SharedSan => {
+                if domains.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![domains.iter().cloned().map(SanEntry::Dns).collect()]
+                }
+            }
+            IssuancePolicy::PerDomain => domains
+                .iter()
+                .cloned()
+                .map(|d| vec![SanEntry::Dns(d)])
+                .collect(),
+            IssuancePolicy::Wildcard { zone } => {
+                if domains.is_empty() {
+                    Vec::new()
+                } else {
+                    let mut san = vec![SanEntry::Wildcard(zone.clone()), SanEntry::Dns(zone.clone())];
+                    // Domains not covered by the wildcard (deeper than one
+                    // label, or outside the zone) still need exact entries.
+                    for d in domains {
+                        let covered = SanEntry::Wildcard(zone.clone()).covers(d) || d == zone;
+                        if !covered {
+                            san.push(SanEntry::Dns(d.clone()));
+                        }
+                    }
+                    vec![san]
+                }
+            }
+            IssuancePolicy::Grouped { group_size } => {
+                let size = (*group_size).max(1);
+                domains
+                    .chunks(size)
+                    .map(|chunk| chunk.iter().cloned().map(SanEntry::Dns).collect())
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of certificates the policy produces for `n` domains.
+    pub fn certificate_count(&self, n: usize) -> usize {
+        match self {
+            IssuancePolicy::SharedSan | IssuancePolicy::Wildcard { .. } => usize::from(n > 0),
+            IssuancePolicy::PerDomain => n,
+            IssuancePolicy::Grouped { group_size } => {
+                let size = (*group_size).max(1);
+                n.div_ceil(size)
+            }
+        }
+    }
+
+    /// `true` if, under this policy, a connection presenting the certificate
+    /// for `established` can be reused for `requested` (certificate criterion
+    /// only). This is the property the `CERT` classifier ultimately observes.
+    pub fn allows_reuse_between(&self, established: &DomainName, requested: &DomainName) -> bool {
+        if established == requested {
+            return true;
+        }
+        match self {
+            IssuancePolicy::SharedSan => true,
+            IssuancePolicy::PerDomain => false,
+            IssuancePolicy::Wildcard { zone } => {
+                let wc = SanEntry::Wildcard(zone.clone());
+                (wc.covers(established) || established == zone) && (wc.covers(requested) || requested == zone)
+            }
+            IssuancePolicy::Grouped { .. } => false, // group membership unknown at this level
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::literal(s)
+    }
+
+    fn domains() -> Vec<DomainName> {
+        vec![d("example.com"), d("img.example.com"), d("static.example.com"), d("api.example.com")]
+    }
+
+    #[test]
+    fn shared_san_single_certificate() {
+        let groups = IssuancePolicy::SharedSan.partition(&domains());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(IssuancePolicy::SharedSan.certificate_count(4), 1);
+        assert_eq!(IssuancePolicy::SharedSan.certificate_count(0), 0);
+        assert!(IssuancePolicy::SharedSan.partition(&[]).is_empty());
+    }
+
+    #[test]
+    fn per_domain_disjunct_certificates() {
+        let policy = IssuancePolicy::PerDomain;
+        let groups = policy.partition(&domains());
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 1));
+        assert_eq!(policy.certificate_count(4), 4);
+        assert!(!policy.allows_reuse_between(&d("example.com"), &d("img.example.com")));
+        assert!(policy.allows_reuse_between(&d("example.com"), &d("example.com")));
+    }
+
+    #[test]
+    fn wildcard_covers_one_level() {
+        let policy = IssuancePolicy::Wildcard { zone: d("example.com") };
+        let groups = policy.partition(&domains());
+        assert_eq!(groups.len(), 1);
+        // wildcard + apex, no extra entries needed for one-level shards
+        assert_eq!(groups[0].len(), 2);
+        assert!(policy.allows_reuse_between(&d("img.example.com"), &d("static.example.com")));
+        assert!(policy.allows_reuse_between(&d("example.com"), &d("img.example.com")));
+        assert!(!policy.allows_reuse_between(&d("img.example.com"), &d("a.b.example.com")));
+    }
+
+    #[test]
+    fn wildcard_adds_exact_entries_for_deep_names() {
+        let policy = IssuancePolicy::Wildcard { zone: d("example.com") };
+        let groups = policy.partition(&[d("a.b.example.com"), d("img.example.com")]);
+        let texts: Vec<String> = groups[0].iter().map(|s| s.as_text()).collect();
+        assert!(texts.contains(&"a.b.example.com".to_string()));
+        assert!(!texts.contains(&"img.example.com".to_string()));
+    }
+
+    #[test]
+    fn grouped_partitions_in_chunks() {
+        let policy = IssuancePolicy::Grouped { group_size: 3 };
+        let groups = policy.partition(&domains());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(policy.certificate_count(4), 2);
+        assert_eq!(IssuancePolicy::Grouped { group_size: 0 }.certificate_count(4), 4);
+    }
+}

@@ -1,0 +1,312 @@
+//! DNS domain names with lightweight validation and a small public-suffix
+//! model.
+//!
+//! The connection-reuse analysis constantly needs to answer questions such as
+//! "is `img.example.com` a subdomain of `example.com`?", "what is the
+//! registrable (second-level) domain of `www.google-analytics.com`?" and
+//! "does the wildcard `*.shop.example` cover `img.shop.example`?". This module
+//! provides a canonicalised [`DomainName`] type that answers them without
+//! pulling in the full public-suffix list: a compact built-in suffix set
+//! covers the suffixes that appear in the simulated web population.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when parsing a textual domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The input was empty or consisted only of dots.
+    Empty,
+    /// A label was empty (`"a..b"`), longer than 63 octets, or the full name
+    /// exceeded 253 octets.
+    BadLength(String),
+    /// A label contained a character outside `[a-z0-9-]` (after lowercasing)
+    /// or started/ended with a hyphen.
+    BadCharacter(String),
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain name"),
+            DomainError::BadLength(l) => write!(f, "label or name has invalid length: {l:?}"),
+            DomainError::BadCharacter(l) => write!(f, "label contains invalid character: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// Multi-label public suffixes understood by [`DomainName::registrable`].
+///
+/// The simulated population only uses a handful of country-code second-level
+/// suffixes; anything not listed here is treated as a single-label suffix
+/// (`com`, `net`, `de`, ...).
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.jp", "com.br", "com.cn", "co.kr",
+    "com.tr", "com.mx", "co.in", "co.za", "com.ar", "gov.uk",
+];
+
+/// A canonicalised (lower-case, no trailing dot) DNS domain name.
+///
+/// Ordering and equality are textual on the canonical form, which makes the
+/// type usable as a map key throughout the workspace.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainName {
+    name: String,
+}
+
+impl DomainName {
+    /// Parse and canonicalise a domain name.
+    ///
+    /// Accepts an optional trailing dot and upper-case letters; rejects empty
+    /// labels, over-long labels/names and characters outside the LDH set.
+    pub fn parse(input: &str) -> Result<Self, DomainError> {
+        let trimmed = input.trim().trim_end_matches('.');
+        if trimmed.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        let lowered = trimmed.to_ascii_lowercase();
+        if lowered.len() > 253 {
+            return Err(DomainError::BadLength(lowered));
+        }
+        for label in lowered.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(DomainError::BadLength(label.to_string()));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainError::BadCharacter(label.to_string()));
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_' || b == b'*')
+            {
+                return Err(DomainError::BadCharacter(label.to_string()));
+            }
+        }
+        Ok(DomainName { name: lowered })
+    }
+
+    /// Construct a domain that is known to be valid at compile time.
+    ///
+    /// # Panics
+    /// Panics if `input` is not a valid domain name; intended for literals in
+    /// catalogs and tests.
+    pub fn literal(input: &str) -> Self {
+        Self::parse(input).expect("invalid domain literal")
+    }
+
+    /// The canonical textual form (lower-case, no trailing dot).
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Labels from leftmost (host) to rightmost (TLD).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// `true` if `self` equals `other` or is a strict subdomain of it
+    /// (`img.example.com` is a subdomain of `example.com`).
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if self == other {
+            return true;
+        }
+        self.name.len() > other.name.len()
+            && self.name.ends_with(other.name.as_str())
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
+    }
+
+    /// The public suffix of this name (e.g. `co.uk` for `shop.example.co.uk`).
+    pub fn public_suffix(&self) -> DomainName {
+        for suffix in MULTI_LABEL_SUFFIXES {
+            let candidate = DomainName { name: (*suffix).to_string() };
+            if self.is_subdomain_of(&candidate) && self != &candidate {
+                return candidate;
+            }
+        }
+        let last = self.labels().last().unwrap_or_default();
+        DomainName { name: last.to_string() }
+    }
+
+    /// The registrable ("second-level") domain: the public suffix plus one
+    /// label. For `www.google-analytics.com` this is `google-analytics.com`.
+    /// A name that *is* a public suffix is returned unchanged.
+    pub fn registrable(&self) -> DomainName {
+        let suffix = self.public_suffix();
+        if self == &suffix {
+            return self.clone();
+        }
+        let suffix_labels = suffix.label_count();
+        let own: Vec<&str> = self.labels().collect();
+        if own.len() <= suffix_labels {
+            return self.clone();
+        }
+        let keep = suffix_labels + 1;
+        let name = own[own.len() - keep..].join(".");
+        DomainName { name }
+    }
+
+    /// `true` if two names share the same registrable domain — the paper's
+    /// notion of "same party" used when reasoning about domain sharding
+    /// (`img.example.com` and `www.example.com` are shards of one site).
+    pub fn same_registrable(&self, other: &DomainName) -> bool {
+        self.registrable() == other.registrable()
+    }
+
+    /// Prepend a label, producing `label.self`.
+    pub fn with_subdomain(&self, label: &str) -> Result<DomainName, DomainError> {
+        DomainName::parse(&format!("{label}.{}", self.name))
+    }
+
+    /// The parent domain (`example.com` for `www.example.com`), or `None` for
+    /// a single-label name.
+    pub fn parent(&self) -> Option<DomainName> {
+        let idx = self.name.find('.')?;
+        Some(DomainName { name: self.name[idx + 1..].to_string() })
+    }
+
+    /// `true` if the leftmost label is the wildcard label `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.name.starts_with("*.")
+    }
+
+    /// Whether a wildcard pattern (`*.example.com`) matches `candidate` per
+    /// RFC 6125 §6.4.3: the wildcard only spans one leftmost label.
+    pub fn wildcard_matches(&self, candidate: &DomainName) -> bool {
+        if !self.is_wildcard() {
+            return self == candidate;
+        }
+        let base = &self.name[2..];
+        match candidate.name.strip_suffix(base) {
+            Some(head) => {
+                // head must be "<single-label>." and non-empty
+                head.len() > 1 && head.ends_with('.') && !head[..head.len() - 1].contains('.')
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DomainName({})", self.name)
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_canonicalises() {
+        let d = DomainName::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(d.as_str(), "www.example.com");
+        assert_eq!(d.label_count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(DomainName::parse(""), Err(DomainError::Empty));
+        assert_eq!(DomainName::parse("..."), Err(DomainError::Empty));
+        assert!(matches!(DomainName::parse("a..b"), Err(DomainError::BadLength(_))));
+        assert!(matches!(DomainName::parse("exa mple.com"), Err(DomainError::BadCharacter(_))));
+        assert!(matches!(DomainName::parse("-bad.com"), Err(DomainError::BadCharacter(_))));
+        let long_label = "a".repeat(64);
+        assert!(matches!(
+            DomainName::parse(&format!("{long_label}.com")),
+            Err(DomainError::BadLength(_))
+        ));
+        let long_name = format!("{}.com", vec!["abcdefgh"; 32].join("."));
+        assert!(matches!(DomainName::parse(&long_name), Err(DomainError::BadLength(_))));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let root = DomainName::literal("example.com");
+        let img = DomainName::literal("img.example.com");
+        let other = DomainName::literal("notexample.com");
+        assert!(img.is_subdomain_of(&root));
+        assert!(root.is_subdomain_of(&root));
+        assert!(!root.is_subdomain_of(&img));
+        assert!(!other.is_subdomain_of(&root));
+        // suffix-string overlap without a dot boundary must not count
+        let tricky = DomainName::literal("badexample.com");
+        assert!(!tricky.is_subdomain_of(&root));
+    }
+
+    #[test]
+    fn registrable_domain() {
+        assert_eq!(
+            DomainName::literal("www.google-analytics.com").registrable().as_str(),
+            "google-analytics.com"
+        );
+        assert_eq!(
+            DomainName::literal("a.b.shop.example.co.uk").registrable().as_str(),
+            "example.co.uk"
+        );
+        assert_eq!(DomainName::literal("com").registrable().as_str(), "com");
+        assert_eq!(DomainName::literal("example.de").registrable().as_str(), "example.de");
+    }
+
+    #[test]
+    fn same_registrable_party() {
+        let a = DomainName::literal("img.shop.example.com");
+        let b = DomainName::literal("static.example.com");
+        let c = DomainName::literal("example.org");
+        assert!(a.same_registrable(&b));
+        assert!(!a.same_registrable(&c));
+    }
+
+    #[test]
+    fn wildcard_matching_single_label_only() {
+        let wc = DomainName::literal("*.example.com");
+        assert!(wc.wildcard_matches(&DomainName::literal("img.example.com")));
+        assert!(!wc.wildcard_matches(&DomainName::literal("a.b.example.com")));
+        assert!(!wc.wildcard_matches(&DomainName::literal("example.com")));
+        assert!(!wc.wildcard_matches(&DomainName::literal("img.example.org")));
+        let exact = DomainName::literal("img.example.com");
+        assert!(exact.wildcard_matches(&DomainName::literal("img.example.com")));
+        assert!(!exact.wildcard_matches(&DomainName::literal("other.example.com")));
+    }
+
+    #[test]
+    fn parent_and_subdomain_builders() {
+        let d = DomainName::literal("example.com");
+        assert_eq!(d.with_subdomain("img").unwrap().as_str(), "img.example.com");
+        assert_eq!(d.parent().unwrap().as_str(), "com");
+        assert_eq!(DomainName::literal("com").parent(), None);
+    }
+
+    #[test]
+    fn display_and_fromstr_roundtrip() {
+        let d: DomainName = "Static.Hotjar.com".parse().unwrap();
+        assert_eq!(d.to_string(), "static.hotjar.com");
+    }
+}

@@ -1,0 +1,27 @@
+//! # netsim-types
+//!
+//! Shared vocabulary for the `connreuse` workspace: domain names with a small
+//! public-suffix model, HTTPS origins, IPv4 addresses and prefixes, a
+//! simulated clock, stable identifiers and a deterministic, fork-able RNG.
+//!
+//! Every other crate in the workspace builds on these types so that the
+//! simulation substrates (DNS, TLS, HTTP/2, browser) and the analysis core
+//! agree on what a "domain", an "IP" and a "point in time" are.
+//!
+//! All types are plain data: cloneable, comparable, hashable and
+//! serde-serialisable, so they can flow through HAR files, NetLog events and
+//! report tables without conversion layers.
+
+pub mod domain;
+pub mod id;
+pub mod ip;
+pub mod origin;
+pub mod rng;
+pub mod time;
+
+pub use domain::{DomainError, DomainName};
+pub use id::{ConnectionId, IdAllocator, PageId, RequestId, SiteId};
+pub use ip::{IpAddr, Prefix};
+pub use origin::{Origin, Scheme};
+pub use rng::SimRng;
+pub use time::{Duration, Instant, SimClock};

@@ -1,0 +1,52 @@
+//! The assembled simulation environment a browser crawls.
+
+use crate::site::Website;
+use netsim_asdb::{AsRegistry, AutonomousSystem};
+use netsim_dns::Authority;
+use netsim_tls::{Certificate, CertificateStore};
+use netsim_types::{DomainName, IpAddr, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the browser substrate needs to load the generated population:
+/// the DNS authority, the certificate inventory (servers present the
+/// certificate selected for the SNI name), the IP → AS registry used by the
+/// attribution tables, and the per-site fetch plans.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WebEnvironment {
+    /// Authoritative DNS data for every generated domain.
+    pub authority: Authority,
+    /// All issued certificates.
+    pub certificates: CertificateStore,
+    /// Prefix → AS announcements for every allocated prefix.
+    pub registry: AsRegistry,
+    /// The generated sites.
+    pub sites: Vec<Website>,
+}
+
+impl WebEnvironment {
+    /// The certificate a server presents for SNI name `domain`, if the domain
+    /// exists in the population.
+    pub fn certificate_for(&self, domain: &DomainName) -> Option<&Certificate> {
+        self.certificates.select_for_sni(domain)
+    }
+
+    /// The AS announcing the prefix that contains `ip`.
+    pub fn asn_for(&self, ip: IpAddr) -> Option<&AutonomousSystem> {
+        self.registry.lookup(ip)
+    }
+
+    /// Fetch a site by id.
+    pub fn site(&self, id: SiteId) -> Option<&Website> {
+        self.sites.get(id.value() as usize).filter(|s| s.id == id)
+    }
+
+    /// Number of generated sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total planned requests across all sites.
+    pub fn total_planned_requests(&self) -> usize {
+        self.sites.iter().map(|s| s.plan.len()).sum()
+    }
+}

@@ -1,0 +1,455 @@
+//! Building a population: services + sites → a crawlable [`WebEnvironment`].
+
+use crate::environment::WebEnvironment;
+use crate::profiles::PopulationProfile;
+use crate::resources::PlannedRequest;
+use crate::services::{DnsDeployment, ServiceCatalog, ThirdPartyService};
+use crate::site::{ShardingPlan, Website};
+use netsim_asdb::{well_known, AsCatalog};
+use netsim_dns::{LoadBalancePolicy, ZoneEntry};
+use netsim_fetch::RequestDestination;
+use netsim_tls::{IssuancePolicy, Issuer, IssuerCatalog};
+use netsim_types::{DomainName, Duration, Instant, IpAddr, SimRng, SiteId};
+use std::collections::BTreeSet;
+
+/// Subdomain labels used for first-party shards.
+const SHARD_LABELS: &[&str] = &["img", "static", "cdn", "assets", "media", "images", "shop", "api"];
+
+/// Top-level domains (and their weights) for generated sites.
+const TLDS: &[(&str, f64)] = &[
+    ("com", 0.52),
+    ("org", 0.09),
+    ("net", 0.08),
+    ("de", 0.08),
+    ("io", 0.05),
+    ("co.uk", 0.04),
+    ("fr", 0.04),
+    ("shop", 0.03),
+    ("info", 0.03),
+    ("nl", 0.02),
+    ("ru", 0.02),
+];
+
+/// First-party sub-resource kinds and their weights.
+const OWN_RESOURCE_KINDS: &[(RequestDestination, &str, f64)] = &[
+    (RequestDestination::Image, "png", 0.50),
+    (RequestDestination::Script, "js", 0.22),
+    (RequestDestination::Style, "css", 0.15),
+    (RequestDestination::Media, "mp4", 0.05),
+    (RequestDestination::Xhr, "json", 0.08),
+];
+
+/// Epoch length for unsynchronized / synchronized pool balancing. Ten minutes
+/// keeps per-resolver assignments stable across one page load (pages finish
+/// in seconds) while letting multi-hour crawls and the multi-day probe see
+/// the temporal fluctuation the paper's Figure 3 shows.
+const LB_EPOCH: Duration = Duration::from_mins(10);
+
+/// Builds a [`WebEnvironment`] from a profile, a service catalog, a site
+/// count and a seed. The same inputs always produce the same population.
+#[derive(Clone, Debug)]
+pub struct PopulationBuilder {
+    profile: PopulationProfile,
+    catalog: ServiceCatalog,
+    as_catalog: AsCatalog,
+    issuers: IssuerCatalog,
+    site_count: usize,
+    seed: u64,
+}
+
+impl PopulationBuilder {
+    /// A builder with the standard service catalog.
+    pub fn new(profile: PopulationProfile, site_count: usize, seed: u64) -> Self {
+        PopulationBuilder {
+            profile,
+            catalog: ServiceCatalog::standard(),
+            as_catalog: AsCatalog::default(),
+            issuers: IssuerCatalog::default_market(),
+            site_count,
+            seed,
+        }
+    }
+
+    /// Replace the third-party service catalog.
+    pub fn with_catalog(mut self, catalog: ServiceCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// The profile the builder uses.
+    pub fn profile(&self) -> &PopulationProfile {
+        &self.profile
+    }
+
+    /// Generate the population.
+    pub fn build(&self) -> WebEnvironment {
+        let root = SimRng::new(self.seed);
+        let mut env = WebEnvironment::default();
+        let mut misc_installed: BTreeSet<usize> = BTreeSet::new();
+
+        for service in self.catalog.services() {
+            install_service(&mut env, service);
+        }
+
+        for index in 0..self.site_count {
+            let mut rng = root.fork_indexed("site", index as u64);
+            let site = self.generate_site(&mut env, &root, &mut misc_installed, index, &mut rng);
+            env.sites.push(site);
+        }
+        env
+    }
+
+    fn generate_site(
+        &self,
+        env: &mut WebEnvironment,
+        root: &SimRng,
+        misc_installed: &mut BTreeSet<usize>,
+        index: usize,
+        rng: &mut SimRng,
+    ) -> Website {
+        let domain = self.site_domain(index, rng);
+
+        // Hosting: either fronted by Cloudflare or on a generic hoster.
+        let behind_cloudflare = rng.chance(self.profile.cloudflare_probability);
+        let autonomous_system = if behind_cloudflare {
+            well_known::cloudflare()
+        } else {
+            self.as_catalog.generic_for(rng.in_range(0..1_000_000u32))
+        };
+        let issuer = if behind_cloudflare {
+            Issuer::cloudflare()
+        } else {
+            let weights = self.issuers.weights();
+            let pick = rng.pick_weighted_index(&weights).unwrap_or(0);
+            self.issuers.issuer_at(pick).clone()
+        };
+
+        // Sharding decision.
+        let sharding = if rng.chance(self.profile.sharding_probability) {
+            let (low, high) = self.profile.shard_count_range;
+            let count = rng.in_range(low..=high).min(SHARD_LABELS.len());
+            let mut labels: Vec<&str> = SHARD_LABELS.to_vec();
+            rng.shuffle(&mut labels);
+            let shards = labels[..count]
+                .iter()
+                .map(|label| domain.with_subdomain(label).expect("valid shard label"))
+                .collect();
+            Some(ShardingPlan {
+                shards,
+                per_domain_certificates: rng.chance(self.profile.per_domain_cert_probability),
+                multi_ip_cdn: rng.chance(self.profile.multi_ip_cdn_probability),
+            })
+        } else {
+            None
+        };
+
+        let mut first_party = vec![domain.clone()];
+        if let Some(plan) = &sharding {
+            first_party.extend(plan.shards.iter().cloned());
+        }
+
+        // First-party DNS.
+        let prefix = env.registry.allocate_slash24(autonomous_system);
+        let multi_ip = sharding.as_ref().map(|s| s.multi_ip_cdn).unwrap_or(false);
+        if multi_ip {
+            let pool: Vec<IpAddr> = (0..4).map(|i| prefix.host(10 + i)).collect();
+            for fp_domain in &first_party {
+                env.authority.insert_entry(
+                    fp_domain.clone(),
+                    ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
+                        pool: pool.clone(),
+                        answer_size: 1,
+                        epoch: LB_EPOCH,
+                    }),
+                );
+            }
+        } else {
+            let ip = prefix.host(10);
+            for fp_domain in &first_party {
+                env.authority.insert_entry(fp_domain.clone(), ZoneEntry::single(ip));
+            }
+        }
+
+        // First-party certificates.
+        let per_domain = sharding.as_ref().map(|s| s.per_domain_certificates).unwrap_or(false);
+        let policy = if per_domain { IssuancePolicy::PerDomain } else { IssuancePolicy::SharedSan };
+        env.certificates.issue_with_policy(issuer, &policy, &first_party, Instant::EPOCH);
+
+        // Fetch plan: document first.
+        let mut plan = vec![PlannedRequest::document(domain.clone())];
+
+        // Own sub-resources, spread over the first-party hosts.
+        let (res_low, res_high) = self.profile.own_resource_range;
+        let own_resources = rng.in_range(res_low..=res_high);
+        let kind_weights: Vec<f64> = OWN_RESOURCE_KINDS.iter().map(|(_, _, w)| *w).collect();
+        for resource_index in 0..own_resources {
+            let host = if first_party.len() == 1 || rng.chance(0.5) {
+                first_party[0].clone()
+            } else {
+                first_party[1 + rng.in_range(0..first_party.len() - 1)].clone()
+            };
+            let kind = rng.pick_weighted_index(&kind_weights).unwrap_or(0);
+            let (destination, extension, _) = OWN_RESOURCE_KINDS[kind];
+            let size = rng.in_range(1_500u64..250_000);
+            plan.push(PlannedRequest::subresource(
+                host,
+                &format!("/assets/resource-{resource_index}.{extension}"),
+                destination,
+                0,
+                size,
+            ));
+        }
+
+        // Third-party services.
+        let mut embedded = Vec::new();
+        for service in self.catalog.services() {
+            if !rng.chance(self.profile.embed_probability(&service.name)) {
+                continue;
+            }
+            embedded.push(service.name.clone());
+            append_service_requests(&mut plan, service, rng);
+        }
+
+        // Unrelated one-off third parties (the "unknown third party" class).
+        let (misc_low, misc_high) = self.profile.misc_third_party_range;
+        let misc_count = rng.in_range(misc_low..=misc_high);
+        for _ in 0..misc_count {
+            let pool_index = rng.in_range(0..self.profile.misc_third_party_pool);
+            let misc_domain = misc_domain_for(pool_index);
+            if misc_installed.insert(pool_index) {
+                self.install_misc_third_party(env, root, pool_index, &misc_domain);
+            }
+            let destination =
+                if rng.chance(0.6) { RequestDestination::Script } else { RequestDestination::Image };
+            let size = rng.in_range(1_000u64..120_000);
+            plan.push(PlannedRequest::subresource(misc_domain, "/embed/widget.js", destination, 0, size));
+        }
+
+        Website { id: SiteId(index as u64), domain, sharding, embedded_services: embedded, plan }
+    }
+
+    fn site_domain(&self, index: usize, rng: &mut SimRng) -> DomainName {
+        let weights: Vec<f64> = TLDS.iter().map(|(_, w)| *w).collect();
+        let tld = TLDS[rng.pick_weighted_index(&weights).unwrap_or(0)].0;
+        DomainName::parse(&format!("{}-site-{index:06}.{tld}", self.profile.name)).expect("generated domain is valid")
+    }
+
+    fn install_misc_third_party(
+        &self,
+        env: &mut WebEnvironment,
+        root: &SimRng,
+        pool_index: usize,
+        domain: &DomainName,
+    ) {
+        // Deterministic regardless of which site touches the domain first.
+        let mut rng = root.fork_indexed("misc-third-party", pool_index as u64);
+        let autonomous_system = if rng.chance(0.35) {
+            let weights = self.as_catalog.major_weights();
+            let pick = rng.pick_weighted_index(&weights).unwrap_or(0);
+            self.as_catalog.major_at(pick).clone()
+        } else {
+            self.as_catalog.generic_for(rng.in_range(0..1_000_000u32))
+        };
+        let prefix = env.registry.allocate_slash24(autonomous_system);
+        env.authority.insert_entry(domain.clone(), ZoneEntry::single(prefix.host(20)));
+        let weights = self.issuers.weights();
+        let issuer = self.issuers.issuer_at(rng.pick_weighted_index(&weights).unwrap_or(0)).clone();
+        env.certificates.issue_with_policy(issuer, &IssuancePolicy::SharedSan, &[domain.clone()], Instant::EPOCH);
+    }
+}
+
+/// The shared pool of unrelated third-party domains.
+fn misc_domain_for(pool_index: usize) -> DomainName {
+    DomainName::parse(&format!("cdn.thirdparty-{pool_index:04}.net")).expect("misc domain is valid")
+}
+
+/// Install one third-party service: DNS entries per IP cluster, certificates
+/// per certificate group, prefixes in the AS registry.
+fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
+    let hosting = &service.hosting;
+    for cluster in &hosting.ip_clusters {
+        match &cluster.deployment {
+            DnsDeployment::SingleHost => {
+                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let ip = prefix.host(10);
+                for domain in &cluster.domains {
+                    env.authority.insert_entry(domain.clone(), ZoneEntry::single(ip));
+                }
+            }
+            DnsDeployment::UnsynchronizedPool { pool_size, answer_size } => {
+                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
+                for domain in &cluster.domains {
+                    env.authority.insert_entry(
+                        domain.clone(),
+                        ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
+                            pool: pool.clone(),
+                            answer_size: *answer_size,
+                            epoch: LB_EPOCH,
+                        }),
+                    );
+                }
+            }
+            DnsDeployment::SynchronizedPool { pool_size, answer_size } => {
+                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
+                for domain in &cluster.domains {
+                    env.authority.insert_entry(
+                        domain.clone(),
+                        ZoneEntry::balanced(LoadBalancePolicy::SynchronizedPool {
+                            pool: pool.clone(),
+                            answer_size: *answer_size,
+                            epoch: LB_EPOCH,
+                        }),
+                    );
+                }
+            }
+            DnsDeployment::DistinctNetworks => {
+                for domain in &cluster.domains {
+                    let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                    env.authority.insert_entry(domain.clone(), ZoneEntry::single(prefix.host(10)));
+                }
+            }
+        }
+    }
+    for group in &hosting.certificate_groups {
+        env.certificates.issue_with_policy(hosting.issuer.clone(), &IssuancePolicy::SharedSan, group, Instant::EPOCH);
+    }
+}
+
+/// Append a service's request chain to a site plan, sampling per-request
+/// probabilities and remapping parent indices. Requests whose parent was
+/// skipped attach to the document instead.
+fn append_service_requests(plan: &mut Vec<PlannedRequest>, service: &ThirdPartyService, rng: &mut SimRng) {
+    let mut plan_index_of: Vec<Option<usize>> = Vec::with_capacity(service.requests.len());
+    for request in &service.requests {
+        if !rng.chance(request.probability) {
+            plan_index_of.push(None);
+            continue;
+        }
+        let parent = match request.initiated_by {
+            None => 0,
+            Some(service_parent) => plan_index_of.get(service_parent).copied().flatten().unwrap_or(0),
+        };
+        let mut planned = PlannedRequest::subresource(
+            request.domain.clone(),
+            &request.path,
+            request.destination,
+            parent,
+            request.body_size,
+        );
+        if request.anonymous {
+            planned = planned.anonymous();
+        }
+        plan.push(planned);
+        plan_index_of.push(Some(plan.len() - 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::plan_is_well_formed;
+
+    fn build_small(profile: PopulationProfile, count: usize, seed: u64) -> WebEnvironment {
+        PopulationBuilder::new(profile, count, seed).build()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_small(PopulationProfile::archive(), 50, 42);
+        let b = build_small(PopulationProfile::archive(), 50, 42);
+        assert_eq!(a.sites, b.sites);
+        assert_eq!(a.certificates.len(), b.certificates.len());
+        let c = build_small(PopulationProfile::archive(), 50, 43);
+        assert_ne!(a.sites, c.sites);
+    }
+
+    #[test]
+    fn every_plan_is_well_formed_and_resolvable() {
+        let env = build_small(PopulationProfile::alexa(), 80, 7);
+        assert_eq!(env.site_count(), 80);
+        for site in &env.sites {
+            assert!(plan_is_well_formed(&site.plan), "site {} has malformed plan", site.domain);
+            for request in &site.plan {
+                assert!(
+                    env.authority.knows(&request.domain),
+                    "no DNS entry for {} (site {})",
+                    request.domain,
+                    site.domain
+                );
+                assert!(
+                    env.certificate_for(&request.domain).is_some(),
+                    "no certificate for {} (site {})",
+                    request.domain,
+                    site.domain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certificates_cover_their_sni_domains() {
+        let env = build_small(PopulationProfile::archive(), 60, 11);
+        for site in &env.sites {
+            for domain in site.contacted_domains() {
+                let cert = env.certificate_for(&domain).expect("certificate exists");
+                assert!(cert.covers(&domain), "certificate for {domain} does not cover it");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_rates_follow_the_profile_roughly() {
+        let env = build_small(PopulationProfile::alexa(), 400, 3);
+        let ga_sites = env.sites.iter().filter(|s| s.embeds("google-analytics")).count();
+        let rate = ga_sites as f64 / env.site_count() as f64;
+        let target = PopulationProfile::alexa().embed_probability("google-analytics");
+        assert!((rate - target).abs() < 0.12, "rate {rate} too far from target {target}");
+    }
+
+    #[test]
+    fn sharded_sites_have_first_party_shard_hosts() {
+        let env = build_small(PopulationProfile::archive(), 200, 5);
+        let sharded: Vec<&Website> = env.sites.iter().filter(|s| s.sharding.is_some()).collect();
+        assert!(!sharded.is_empty());
+        for site in sharded {
+            let sharding = site.sharding.as_ref().unwrap();
+            assert!(!sharding.shards.is_empty());
+            for shard in &sharding.shards {
+                assert!(shard.is_subdomain_of(&site.domain));
+                assert!(env.authority.knows(shard));
+            }
+        }
+    }
+
+    #[test]
+    fn service_ips_come_from_their_as() {
+        let env = build_small(PopulationProfile::archive(), 10, 9);
+        // The analytics cluster is announced by GOOGLE.
+        let ga = DomainName::literal("www.google-analytics.com");
+        let records = env.authority.query(
+            &ga,
+            &netsim_dns::QueryContext::new(netsim_dns::ResolverId(0), netsim_dns::Vantage::Europe, Instant::EPOCH),
+        );
+        assert!(!records.is_empty());
+        let ip = records[0].data.as_a().unwrap();
+        assert_eq!(env.asn_for(ip).unwrap().name, "GOOGLE");
+    }
+
+    #[test]
+    fn misc_third_parties_are_shared_between_sites() {
+        let env = build_small(PopulationProfile::alexa(), 300, 21);
+        let mut misc_domains: Vec<DomainName> = env
+            .sites
+            .iter()
+            .flat_map(|s| s.contacted_domains())
+            .filter(|d| d.as_str().contains("thirdparty-"))
+            .collect();
+        assert!(!misc_domains.is_empty());
+        misc_domains.sort();
+        let total = misc_domains.len();
+        misc_domains.dedup();
+        assert!(misc_domains.len() < total, "misc third parties should repeat across sites");
+    }
+}

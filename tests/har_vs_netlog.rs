@@ -1,0 +1,113 @@
+//! Consistency between the two data paths the paper uses: NetLog-grade
+//! browser captures and the HTTP-Archive HAR pipeline. When no logging
+//! defects are injected, both must reconstruct the same session structure and
+//! lead to the same classification.
+
+use connreuse::core::DatasetSummary;
+use connreuse::har::FilterStatistics;
+use connreuse::prelude::*;
+
+fn environment(sites: usize, seed: u64) -> WebEnvironment {
+    PopulationBuilder::new(PopulationProfile::archive(), sites, seed).build()
+}
+
+#[test]
+fn clean_har_and_netlog_classify_identically_under_endless() {
+    let env = environment(120, 21);
+    let config = BrowserConfig::http_archive_crawler();
+
+    let report = Crawler::new("netlog", config.clone(), 5).with_threads(2).crawl(&env);
+    let netlog_dataset = dataset_from_crawl(&report);
+
+    let mut corpus = ArchivePipeline::new(5)
+        .with_config(config)
+        .with_inconsistencies(InconsistencyConfig::none())
+        .with_threads(2)
+        .run(&env);
+    corpus.filter();
+    let har_dataset = dataset_from_har(&corpus, "har");
+
+    let netlog_summary = DatasetSummary::from_classifications(
+        "netlog",
+        &classify_dataset(&netlog_dataset, DurationModel::Endless),
+    );
+    let har_summary = DatasetSummary::from_classifications(
+        "har",
+        &classify_dataset(&har_dataset, DurationModel::Endless),
+    );
+
+    assert_eq!(netlog_summary.total, har_summary.total);
+    assert_eq!(netlog_summary.redundant, har_summary.redundant);
+    for cause in Cause::ALL {
+        assert_eq!(netlog_summary.cause(cause), har_summary.cause(cause), "cause {cause} differs");
+    }
+}
+
+#[test]
+fn defect_injection_only_removes_information() {
+    let env = environment(120, 22);
+    let config = BrowserConfig::http_archive_crawler();
+
+    let mut clean = ArchivePipeline::new(9)
+        .with_config(config.clone())
+        .with_inconsistencies(InconsistencyConfig::none())
+        .with_threads(2)
+        .run(&env);
+    let clean_stats: FilterStatistics = clean.filter();
+
+    let mut noisy = ArchivePipeline::new(9).with_config(config).with_threads(2).run(&env);
+    let noisy_stats: FilterStatistics = noisy.filter();
+
+    assert_eq!(clean_stats.dropped(), 0);
+    assert!(noisy_stats.dropped() > 0);
+    assert!(noisy_stats.retained_http2 <= clean_stats.retained_http2);
+
+    // Conservative filtering can only shrink the analyzable dataset.
+    let clean_dataset = dataset_from_har(&clean, "clean");
+    let noisy_dataset = dataset_from_har(&noisy, "noisy");
+    assert!(noisy_dataset.total_requests() <= clean_dataset.total_requests());
+    assert!(noisy_dataset.total_connections() <= clean_dataset.total_connections());
+
+    let clean_summary = DatasetSummary::from_classifications(
+        "clean",
+        &classify_dataset(&clean_dataset, DurationModel::Endless),
+    );
+    let noisy_summary = DatasetSummary::from_classifications(
+        "noisy",
+        &classify_dataset(&noisy_dataset, DurationModel::Endless),
+    );
+    assert!(noisy_summary.redundant.connections <= clean_summary.redundant.connections);
+}
+
+#[test]
+fn har_json_roundtrip_preserves_the_classification() {
+    let env = environment(40, 23);
+    let mut corpus = ArchivePipeline::new(11)
+        .with_inconsistencies(InconsistencyConfig::none())
+        .with_threads(2)
+        .run(&env);
+    corpus.filter();
+
+    // Serialise every document to JSON and parse it back, as an external
+    // consumer of the corpus would.
+    let reparsed: Vec<_> = corpus
+        .documents
+        .iter()
+        .map(|document| connreuse::har::HarDocument::from_json(&document.to_json()).expect("valid JSON"))
+        .collect();
+    assert_eq!(reparsed, corpus.documents);
+
+    let original = dataset_from_har(&corpus, "har");
+    let mut roundtripped_corpus = corpus.clone();
+    roundtripped_corpus.documents = reparsed;
+    let roundtripped = dataset_from_har(&roundtripped_corpus, "har");
+    let summary_a = DatasetSummary::from_classifications(
+        "har",
+        &classify_dataset(&original, DurationModel::Endless),
+    );
+    let summary_b = DatasetSummary::from_classifications(
+        "har",
+        &classify_dataset(&roundtripped, DurationModel::Endless),
+    );
+    assert_eq!(summary_a, summary_b);
+}

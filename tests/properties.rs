@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! classifier invariants.
+
+use connreuse::core::{classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation};
+use connreuse::dns::{LoadBalancePolicy, QueryContext, ResolverId, Vantage};
+use connreuse::h2::hpack::HpackContext;
+use connreuse::tls::{Certificate, CertificateId, Issuer, SanEntry};
+use connreuse::types::{ConnectionId, DomainName, Duration, Instant, IpAddr};
+use proptest::prelude::*;
+
+/// A small universe of domains so that random SAN lists actually cover some
+/// of the randomly chosen connection domains.
+fn domain_universe() -> Vec<DomainName> {
+    [
+        "example.com",
+        "www.example.com",
+        "img.example.com",
+        "static.example.com",
+        "cdn.other.net",
+        "tracker.ads.org",
+        "fonts.provider.io",
+    ]
+    .iter()
+    .map(|s| DomainName::literal(s))
+    .collect()
+}
+
+prop_compose! {
+    /// A random observed connection drawn from small universes of domains,
+    /// addresses and SAN subsets.
+    fn arbitrary_connection(id: u64)(
+        domain_index in 0usize..7,
+        ip_index in 0u8..4,
+        san_mask in 0u8..128,
+        start in 0u64..10_000,
+        close_offset in proptest::option::of(1_000u64..200_000),
+        status in prop_oneof![Just(200u16), Just(200u16), Just(200u16), Just(404u16)],
+    ) -> ObservedConnection {
+        let universe = domain_universe();
+        let domain = universe[domain_index].clone();
+        let mut san: Vec<SanEntry> = universe
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| san_mask & (1 << index) != 0)
+            .map(|(_, d)| SanEntry::Dns(d.clone()))
+            .collect();
+        // The certificate always covers the domain it was served for.
+        san.push(SanEntry::Dns(domain.clone()));
+        ObservedConnection {
+            id: ConnectionId(id),
+            initial_domain: domain.clone(),
+            ip: IpAddr::new(192, 0, 2, ip_index),
+            port: 443,
+            san,
+            issuer: Issuer::lets_encrypt(),
+            established_at: Instant::from_millis(start),
+            closed_at: close_offset.map(|offset| Instant::from_millis(start + offset)),
+            requests: vec![ObservedRequest {
+                domain,
+                status,
+                started_at: Instant::from_millis(start + 5),
+            }],
+        }
+    }
+}
+
+fn arbitrary_site(max_connections: usize) -> impl Strategy<Value = SiteObservation> {
+    prop::collection::vec(any::<u8>(), 1..=max_connections).prop_flat_map(|seeds| {
+        let strategies: Vec<_> = seeds.iter().enumerate().map(|(i, _)| arbitrary_connection(i as u64)).collect();
+        strategies.prop_map(|connections| SiteObservation {
+            site: DomainName::literal("site.example"),
+            connections,
+        })
+    })
+}
+
+proptest! {
+    /// Classifier invariants that must hold for any observation.
+    #[test]
+    fn classifier_invariants(site in arbitrary_site(8)) {
+        for model in [DurationModel::Endless, DurationModel::Immediate, DurationModel::Recorded] {
+            let result = classify_site(&site, model);
+            prop_assert_eq!(result.total_connections, site.connections.len());
+            prop_assert_eq!(result.connections.len(), site.connections.len());
+            // The first-established connection can never be redundant.
+            if let Some(first) = result.connections.first() {
+                prop_assert!(!first.is_redundant());
+            }
+            prop_assert!(result.redundant_connections() < site.connections.len().max(1));
+            for (position, connection) in result.connections.iter().enumerate() {
+                for cause in Cause::ALL {
+                    for &previous in connection.previous_for(cause) {
+                        prop_assert!(previous < site.connections.len());
+                        // Previous connections were established no later.
+                        let this = &site.connections[connection.index];
+                        let other = &site.connections[previous];
+                        prop_assert!(other.established_at <= this.established_at);
+                    }
+                }
+                // A single previous connection cannot justify both CERT and
+                // CRED for the same new connection (they are mutually
+                // exclusive per pair: the certificate either covers or not).
+                let cert: std::collections::BTreeSet<_> =
+                    connection.previous_for(Cause::Cert).iter().collect();
+                let cred: std::collections::BTreeSet<_> =
+                    connection.previous_for(Cause::Cred).iter().collect();
+                // Exception: the same-initial-domain corner case routes an
+                // IP-mismatched pair to CRED; such a pair can never be in CERT
+                // because the certificate always covers its own domain.
+                prop_assert!(cert.is_disjoint(&cred), "position {position}: {cert:?} vs {cred:?}");
+            }
+        }
+    }
+
+    /// Endless is an upper bound of Immediate for every cause.
+    #[test]
+    fn endless_dominates_immediate(site in arbitrary_site(8)) {
+        let endless = classify_site(&site, DurationModel::Endless);
+        let immediate = classify_site(&site, DurationModel::Immediate);
+        prop_assert!(endless.redundant_connections() >= immediate.redundant_connections());
+        for cause in Cause::ALL {
+            prop_assert!(endless.connections_with_cause(cause) >= immediate.connections_with_cause(cause));
+        }
+    }
+
+    /// Removing close times (Recorded with no closures == Endless).
+    #[test]
+    fn recorded_without_closures_equals_endless(site in arbitrary_site(6)) {
+        let mut open_site = site;
+        for connection in &mut open_site.connections {
+            connection.closed_at = None;
+        }
+        let endless = classify_site(&open_site, DurationModel::Endless);
+        let recorded = classify_site(&open_site, DurationModel::Recorded);
+        prop_assert_eq!(endless, recorded);
+    }
+
+    /// SAN coverage: a wildcard certificate covers exactly the single-label
+    /// children of its zone, never the zone itself or deeper names.
+    #[test]
+    fn wildcard_coverage_is_single_label(label in "[a-z]{1,10}", deeper in "[a-z]{1,8}") {
+        let zone = DomainName::literal("shard.example.com");
+        let certificate = Certificate {
+            id: CertificateId(1),
+            subject: zone.clone(),
+            san: vec![SanEntry::Wildcard(zone.clone())],
+            issuer: Issuer::lets_encrypt(),
+            not_before: Instant::EPOCH,
+            not_after: Instant::EPOCH + Duration::from_days(90),
+        };
+        let child = zone.with_subdomain(&label).unwrap();
+        let grandchild = child.with_subdomain(&deeper).unwrap();
+        prop_assert!(certificate.covers(&child));
+        prop_assert!(!certificate.covers(&zone));
+        prop_assert!(!certificate.covers(&grandchild));
+    }
+
+    /// DNS load-balancing answers always come from the configured pool, are
+    /// deterministic within an epoch, and never exceed the requested size.
+    #[test]
+    fn load_balancing_answers_stay_in_pool(
+        pool_size in 1u8..16,
+        answer_size in 0usize..8,
+        resolver in 0u32..20,
+        minutes in 0u64..5_000,
+        domain_index in 0usize..7,
+    ) {
+        let pool: Vec<IpAddr> = (0..pool_size).map(|i| IpAddr::new(10, 7, 0, i)).collect();
+        let policy = LoadBalancePolicy::PerResolverPool {
+            pool: pool.clone(),
+            answer_size,
+            epoch: Duration::from_mins(30),
+        };
+        let domain = domain_universe()[domain_index].clone();
+        let ctx = QueryContext::new(
+            ResolverId(resolver),
+            Vantage::Europe,
+            Instant::EPOCH + Duration::from_mins(minutes),
+        );
+        let answer = policy.select(&domain, &ctx);
+        prop_assert!(!answer.is_empty());
+        prop_assert!(answer.len() <= pool.len());
+        prop_assert!(answer.iter().all(|ip| pool.contains(ip)));
+        prop_assert_eq!(answer.clone(), policy.select(&domain, &ctx));
+    }
+
+    /// HPACK: the encoded block is never larger than the uncompressed header
+    /// list plus per-field overhead, and repeated encoding monotonically
+    /// improves the cumulative compression ratio.
+    #[test]
+    fn hpack_encoding_is_bounded_and_improves(path in "/[a-z0-9/]{0,40}", repeats in 1usize..12) {
+        let headers = HpackContext::request_headers("www.example.com", &path, Some("sid=token"));
+        let uncompressed: usize = headers.iter().map(|h| h.name.len() + h.value.len() + 4).sum();
+        let mut ctx = HpackContext::default();
+        let mut previous_ratio = f64::INFINITY;
+        for _ in 0..repeats {
+            let encoded = ctx.encode_block_size(&headers);
+            prop_assert!(encoded > 0);
+            prop_assert!(encoded <= uncompressed + headers.len());
+            let ratio = ctx.compression_ratio();
+            prop_assert!(ratio <= previous_ratio + 1e-9);
+            previous_ratio = ratio;
+        }
+    }
+}
