@@ -81,8 +81,8 @@ impl AsRegistry {
         let block = self.next_block;
         self.next_block += 1;
         // 20.x.y.0/24 with x.y derived from the counter.
-        let base = IpAddr::new(20, ((block >> 8) & 0xFF) as u8, (block & 0xFF) as u8, 0)
-            .offset((block >> 16) << 24);
+        let base =
+            IpAddr::new(20, ((block >> 8) & 0xFF) as u8, (block & 0xFF) as u8, 0).offset((block >> 16) << 24);
         let prefix = Prefix::new(base, 24);
         self.announce(prefix, system);
         prefix

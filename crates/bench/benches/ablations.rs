@@ -41,11 +41,8 @@ fn bench_dns_policy_ablation(c: &mut Criterion) {
         answer_size: 1,
         epoch: Duration::from_mins(30),
     };
-    let synchronized = LoadBalancePolicy::SynchronizedPool {
-        pool,
-        answer_size: 1,
-        epoch: Duration::from_mins(30),
-    };
+    let synchronized =
+        LoadBalancePolicy::SynchronizedPool { pool, answer_size: 1, epoch: Duration::from_mins(30) };
     let analytics = DomainName::literal("www.google-analytics.com");
     let tag_manager = DomainName::literal("www.googletagmanager.com");
     let mut group = c.benchmark_group("ablation_dns_policy");
@@ -75,9 +72,18 @@ fn bench_handshake_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_handshake_cost");
     group.sample_size(50);
     let configurations = [
-        ("tls13_cold", HandshakeConfig { version: TlsVersion::Tls13, session_resumption: false, quic: false }),
-        ("tls12_cold", HandshakeConfig { version: TlsVersion::Tls12, session_resumption: false, quic: false }),
-        ("tls13_resumed", HandshakeConfig { version: TlsVersion::Tls13, session_resumption: true, quic: false }),
+        (
+            "tls13_cold",
+            HandshakeConfig { version: TlsVersion::Tls13, session_resumption: false, quic: false },
+        ),
+        (
+            "tls12_cold",
+            HandshakeConfig { version: TlsVersion::Tls12, session_resumption: false, quic: false },
+        ),
+        (
+            "tls13_resumed",
+            HandshakeConfig { version: TlsVersion::Tls13, session_resumption: true, quic: false },
+        ),
         ("quic_0rtt", HandshakeConfig { version: TlsVersion::Tls13, session_resumption: true, quic: true }),
     ];
     let rtt = Duration::from_millis(30);
@@ -99,7 +105,9 @@ fn bench_handshake_cost(c: &mut Criterion) {
 /// request stream on one long-lived context vs. restarting the dictionary.
 fn bench_hpack_restart_cost(c: &mut Criterion) {
     let requests: Vec<Vec<netsim_h2::Header>> = (0..50)
-        .map(|i| HpackContext::request_headers("www.google-analytics.com", &format!("/collect?cid={i}"), None))
+        .map(|i| {
+            HpackContext::request_headers("www.google-analytics.com", &format!("/collect?cid={i}"), None)
+        })
         .collect();
     let mut group = c.benchmark_group("ablation_hpack_restart");
     group.sample_size(50);

@@ -27,7 +27,8 @@ fn bench_dns_resolution(c: &mut Criterion) {
         })
     });
     group.bench_function("resolve_cached", |b| {
-        let mut resolver = RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
+        let mut resolver =
+            RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
         resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap();
         b.iter(|| black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap()))
     });
@@ -36,8 +37,10 @@ fn bench_dns_resolution(c: &mut Criterion) {
 
 fn bench_reuse_predicate(c: &mut Criterion) {
     let mut store = CertificateStore::new();
-    let domains: Vec<DomainName> = (0..50).map(|i| DomainName::literal(&format!("host-{i}.example.com"))).collect();
-    let ids = store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
+    let domains: Vec<DomainName> =
+        (0..50).map(|i| DomainName::literal(&format!("host-{i}.example.com"))).collect();
+    let ids =
+        store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
     let certificate = store.get(ids[0]).unwrap().clone();
     let connection = Connection::establish(
         ConnectionId(1),
@@ -53,12 +56,24 @@ fn bench_reuse_predicate(c: &mut Criterion) {
     group.sample_size(100);
     group.bench_function("evaluate_match", |b| {
         b.iter(|| {
-            black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 1), true, &ReusePolicy::chromium()))
+            black_box(evaluate(
+                &connection,
+                &target,
+                IpAddr::new(10, 0, 0, 1),
+                true,
+                &ReusePolicy::chromium(),
+            ))
         })
     });
     group.bench_function("evaluate_mismatch", |b| {
         b.iter(|| {
-            black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 9), false, &ReusePolicy::chromium()))
+            black_box(evaluate(
+                &connection,
+                &target,
+                IpAddr::new(10, 0, 0, 9),
+                false,
+                &ReusePolicy::chromium(),
+            ))
         })
     });
     group.finish();

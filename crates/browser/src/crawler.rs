@@ -78,8 +78,8 @@ impl Crawler {
         visits.resize_with(site_count, || None);
 
         if self.threads <= 1 || site_count < 2 {
-            for index in 0..site_count {
-                visits[index] = Some(self.visit_site(env, index));
+            for (index, slot) in visits.iter_mut().enumerate() {
+                *slot = Some(self.visit_site(env, index));
             }
         } else {
             let threads = self.threads.min(site_count);
@@ -139,9 +139,8 @@ mod tests {
     fn parallel_crawl_matches_sequential() {
         let environment = env(16);
         let sequential = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 9).crawl(&environment);
-        let parallel = Crawler::new("alexa", BrowserConfig::alexa_measurement(), 9)
-            .with_threads(4)
-            .crawl(&environment);
+        let parallel =
+            Crawler::new("alexa", BrowserConfig::alexa_measurement(), 9).with_threads(4).crawl(&environment);
         assert_eq!(sequential.total_connections(), parallel.total_connections());
         assert_eq!(sequential.total_requests(), parallel.total_requests());
         for (a, b) in sequential.visits.iter().zip(parallel.visits.iter()) {

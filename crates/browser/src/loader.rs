@@ -86,7 +86,8 @@ impl Browser {
                 rtt,
             );
             if let Some(entry) = outcome {
-                finished_at = finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
+                finished_at =
+                    finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
                 requests.push(entry);
             }
         }
@@ -98,7 +99,8 @@ impl Browser {
             for connection in &mut connections {
                 if rng.chance(close_probability) {
                     let factor = 0.5 + rng.unit() * 1.5; // 0.5x .. 2.0x the median
-                    let lifetime = Duration::from_millis((median_lifetime_secs as f64 * 1000.0 * factor) as u64);
+                    let lifetime =
+                        Duration::from_millis((median_lifetime_secs as f64 * 1000.0 * factor) as u64);
                     let closed_at = connection.established_at + lifetime;
                     connection.close(closed_at);
                     netlog.record(closed_at, NetLogEventKind::ConnectionClosed { connection: connection.id });
@@ -170,7 +172,10 @@ impl Browser {
         };
         netlog.record(
             clock.now(),
-            NetLogEventKind::DnsResolved { domain: planned.domain.clone(), addresses: answer.addresses.clone() },
+            NetLogEventKind::DnsResolved {
+                domain: planned.domain.clone(),
+                addresses: answer.addresses.clone(),
+            },
         );
         let target_ip = answer.primary_address()?;
 
@@ -180,7 +185,8 @@ impl Browser {
                 if !connection.is_open_at(clock.now()) {
                     continue;
                 }
-                match evaluate(connection, &target_origin, target_ip, credentialed, &self.config.reuse_policy) {
+                match evaluate(connection, &target_origin, target_ip, credentialed, &self.config.reuse_policy)
+                {
                     ReuseDecision::Reusable => {
                         chosen = Some(index);
                         break;
@@ -227,8 +233,7 @@ impl Browser {
                     Settings::default(),
                 );
                 if self.config.servers_announce_origin_sets {
-                    let origins: Vec<_> =
-                        connection.certificate.dns_names().into_iter().cloned().collect();
+                    let origins: Vec<_> = connection.certificate.dns_names().into_iter().cloned().collect();
                     connection.receive_origin_set(origins);
                 }
                 netlog.record(
@@ -396,9 +401,14 @@ mod tests {
             let mut clock = SimClock::starting_at(Instant::EPOCH + Duration::from_mins(31 * index as u64));
             let mut rng = SimRng::new(99);
             let v = browser.load_page(&env, site, &mut clock, &mut rng);
-            let gtm_conn: Vec<_> = v.requests.iter().filter(|r| r.domain == gtm).map(|r| r.connection).collect();
-            let ga_conn: Vec<_> =
-                v.requests.iter().filter(|r| r.domain == ga && r.credentialed).map(|r| r.connection).collect();
+            let gtm_conn: Vec<_> =
+                v.requests.iter().filter(|r| r.domain == gtm).map(|r| r.connection).collect();
+            let ga_conn: Vec<_> = v
+                .requests
+                .iter()
+                .filter(|r| r.domain == ga && r.credentialed)
+                .map(|r| r.connection)
+                .collect();
             if gtm_conn.is_empty() || ga_conn.is_empty() {
                 continue;
             }
@@ -420,10 +430,18 @@ mod tests {
                 continue;
             }
             let v = visit(&env, index, BrowserConfig::alexa_measurement());
-            let credentialed: std::collections::BTreeSet<_> =
-                v.requests.iter().filter(|r| r.domain == ga && r.credentialed).map(|r| r.connection).collect();
-            let anonymous: std::collections::BTreeSet<_> =
-                v.requests.iter().filter(|r| r.domain == ga && !r.credentialed).map(|r| r.connection).collect();
+            let credentialed: std::collections::BTreeSet<_> = v
+                .requests
+                .iter()
+                .filter(|r| r.domain == ga && r.credentialed)
+                .map(|r| r.connection)
+                .collect();
+            let anonymous: std::collections::BTreeSet<_> = v
+                .requests
+                .iter()
+                .filter(|r| r.domain == ga && !r.credentialed)
+                .map(|r| r.connection)
+                .collect();
             if !credentialed.is_empty() && !anonymous.is_empty() {
                 assert!(credentialed.is_disjoint(&anonymous), "partitions must not share sessions");
                 cred_split_seen = true;

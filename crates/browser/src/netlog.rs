@@ -174,10 +174,7 @@ mod tests {
         );
         assert_eq!(log.len(), 3);
         assert_eq!(log.establishments().count(), 1);
-        assert_eq!(
-            log.count_matching(|k| matches!(k, NetLogEventKind::ConnectionReused { .. })),
-            1
-        );
+        assert_eq!(log.count_matching(|k| matches!(k, NetLogEventKind::ConnectionReused { .. })), 1);
         assert!(log.events()[0].time <= log.events()[1].time);
     }
 }

@@ -33,7 +33,8 @@ pub struct DatasetSummary {
 impl DatasetSummary {
     /// Aggregate a set of per-site classifications.
     pub fn from_classifications(label: &str, classifications: &[SiteClassification]) -> Self {
-        let mut causes: BTreeMap<Cause, CauseCounts> = Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect();
+        let mut causes: BTreeMap<Cause, CauseCounts> =
+            Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect();
         let mut redundant = CauseCounts::default();
         let mut total = CauseCounts::default();
         for classification in classifications {

@@ -266,7 +266,14 @@ mod tests {
         DomainName::literal(s)
     }
 
-    fn conn(id: u64, domain: &str, ip: IpAddr, san: &[&str], issuer: Issuer, start: u64) -> ObservedConnection {
+    fn conn(
+        id: u64,
+        domain: &str,
+        ip: IpAddr,
+        san: &[&str],
+        issuer: Issuer,
+        start: u64,
+    ) -> ObservedConnection {
         ObservedConnection {
             id: ConnectionId(id),
             initial_domain: d(domain),
@@ -276,7 +283,11 @@ mod tests {
             issuer,
             established_at: Instant::from_millis(start),
             closed_at: None,
-            requests: vec![ObservedRequest { domain: d(domain), status: 200, started_at: Instant::from_millis(start) }],
+            requests: vec![ObservedRequest {
+                domain: d(domain),
+                status: 200,
+                started_at: Instant::from_millis(start),
+            }],
         }
     }
 

@@ -196,13 +196,7 @@ mod tests {
         DomainName::literal(s)
     }
 
-    fn conn(
-        id: u64,
-        domain: &str,
-        ip: IpAddr,
-        san: &[&str],
-        start_ms: u64,
-    ) -> ObservedConnection {
+    fn conn(id: u64, domain: &str, ip: IpAddr, san: &[&str], start_ms: u64) -> ObservedConnection {
         ObservedConnection {
             id: ConnectionId(id),
             initial_domain: d(domain),
@@ -212,7 +206,11 @@ mod tests {
             issuer: Issuer::lets_encrypt(),
             established_at: Instant::from_millis(start_ms),
             closed_at: None,
-            requests: vec![ObservedRequest { domain: d(domain), status: 200, started_at: Instant::from_millis(start_ms + 1) }],
+            requests: vec![ObservedRequest {
+                domain: d(domain),
+                status: 200,
+                started_at: Instant::from_millis(start_ms + 1),
+            }],
         }
     }
 
@@ -307,7 +305,10 @@ mod tests {
         // First connection's last request is at t=1ms; the second connection
         // opens at t=60s. Under the immediate model the first is gone.
         let shared = &["a.example.com", "b.example.com"];
-        let s = site(vec![conn(1, "a.example.com", IP_A, shared, 0), conn(2, "b.example.com", IP_A, shared, 60_000)]);
+        let s = site(vec![
+            conn(1, "a.example.com", IP_A, shared, 0),
+            conn(2, "b.example.com", IP_A, shared, 60_000),
+        ]);
         let endless = classify_site(&s, DurationModel::Endless);
         let immediate = classify_site(&s, DurationModel::Immediate);
         assert_eq!(endless.redundant_connections(), 1);

@@ -45,7 +45,11 @@ pub fn lifetime_statistics(dataset: &Dataset) -> LifetimeStatistics {
     }
     lifetimes.sort_unstable();
     let median = if lifetimes.is_empty() { None } else { Some(lifetimes[lifetimes.len() / 2]) };
-    LifetimeStatistics { total_connections: total, closed_connections: lifetimes.len(), median_lifetime: median }
+    LifetimeStatistics {
+        total_connections: total,
+        closed_connections: lifetimes.len(),
+        median_lifetime: median,
+    }
 }
 
 #[cfg(test)]

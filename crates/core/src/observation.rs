@@ -84,7 +84,7 @@ impl ObservedConnection {
     /// `true` if the session was open (established and not yet closed under
     /// the model) at instant `t`.
     pub fn open_at(&self, t: Instant, model: DurationModel) -> bool {
-        self.established_at <= t && self.open_until(model).map_or(true, |end| t <= end)
+        self.established_at <= t && self.open_until(model).is_none_or(|end| t <= end)
     }
 
     /// The recorded lifetime, when a close time exists.
@@ -170,7 +170,11 @@ mod tests {
             established_at: Instant::from_millis(start_ms),
             closed_at: closed_ms.map(Instant::from_millis),
             requests: vec![
-                ObservedRequest { domain: d("example.com"), status: 200, started_at: Instant::from_millis(start_ms + 5) },
+                ObservedRequest {
+                    domain: d("example.com"),
+                    status: 200,
+                    started_at: Instant::from_millis(start_ms + 5),
+                },
                 ObservedRequest {
                     domain: d("img.example.com"),
                     status: 200,

@@ -24,9 +24,9 @@ impl CdfSeries {
             points[0] = 0.0;
             return CdfSeries { label: label.to_string(), points };
         }
-        for k in 0..=max_k {
+        for (k, point) in points.iter_mut().enumerate() {
             let at_least = classifications.iter().filter(|c| c.redundant_connections() >= k).count();
-            points[k] = at_least as f64 / site_count as f64;
+            *point = at_least as f64 / site_count as f64;
         }
         CdfSeries { label: label.to_string(), points }
     }

@@ -100,11 +100,7 @@ impl LoadBalancePolicy {
             }
             LoadBalancePolicy::PerResolverPool { pool, answer_size, epoch } => {
                 let bucket = time_bucket(ctx, *epoch);
-                let h = mix(
-                    fnv1a(domain.as_str().as_bytes())
-                        ^ ((ctx.resolver.0 as u64) << 32)
-                        ^ bucket,
-                );
+                let h = mix(fnv1a(domain.as_str().as_bytes()) ^ ((ctx.resolver.0 as u64) << 32) ^ bucket);
                 take_wrapped(pool, h as usize, *answer_size)
             }
             LoadBalancePolicy::SynchronizedPool { pool, answer_size, epoch } => {
@@ -224,10 +220,8 @@ mod tests {
     #[test]
     fn vantage_steering_partitions_the_pool() {
         let p = LoadBalancePolicy::VantageSteered { pool: pool(8), answer_size: 1 };
-        let eu = p.select(
-            &d("x.example"),
-            &QueryContext::new(ResolverId(0), Vantage::Europe, Instant::EPOCH),
-        );
+        let eu =
+            p.select(&d("x.example"), &QueryContext::new(ResolverId(0), Vantage::Europe, Instant::EPOCH));
         let na = p.select(
             &d("x.example"),
             &QueryContext::new(ResolverId(0), Vantage::NorthAmerica, Instant::EPOCH),

@@ -51,7 +51,7 @@ pub enum ResolutionError {
     NxDomain(DomainName),
     /// The name only resolved to a CNAME chain that never reached addresses.
     NoAddress(DomainName),
-    /// The CNAME chain exceeded [`MAX_CNAME_DEPTH`].
+    /// The CNAME chain exceeded the resolver's depth limit (8 hops).
     CnameLoop(DomainName),
 }
 

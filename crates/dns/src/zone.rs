@@ -111,7 +111,11 @@ impl Zone {
         match self.entries.get(name) {
             None => Vec::new(),
             Some(ZoneEntry::Alias { target, ttl }) => {
-                vec![ResourceRecord { name: name.clone(), ttl: *ttl, data: RecordData::Cname(target.clone()) }]
+                vec![ResourceRecord {
+                    name: name.clone(),
+                    ttl: *ttl,
+                    data: RecordData::Cname(target.clone()),
+                }]
             }
             Some(ZoneEntry::Addresses { policy, ttl }) => policy
                 .select(name, ctx)

@@ -5,11 +5,14 @@
 //! visible at a glance. Absolute counts are not expected to match — the
 //! populations are scaled down — but the percentages and rankings should.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Reference percentages from Table 1 (relative to the HTTP/2 site and
 /// connection totals of each dataset).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Not `Deserialize`: the dataset label is a `&'static str`, which cannot be
+/// deserialized from owned input.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct PaperTable1Reference {
     /// Dataset label used in the paper.
     pub dataset: &'static str,

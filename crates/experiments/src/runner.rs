@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 /// paper's conclusion proposes (ORIGIN-frame adoption, synchronized DNS,
 /// dropping the Fetch credentials flag).
 pub const EXPERIMENTS: &[&str] = &[
-    "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-    "table8", "table9", "table10", "table11", "table12", "figure3", "filters", "whatif",
+    "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif",
 ];
 
 /// The rendered result of one experiment.
@@ -127,13 +127,17 @@ fn headline(scenario: &Scenario) -> String {
 /// Figure 2: survival function of redundant connections per site.
 fn figure2(scenario: &Scenario) -> String {
     let max_k = 15;
-    let series = vec![
+    let series = [
         CdfSeries::from_classifications(
             "HTTP Archive Endless",
             &classified(&scenario.har, DurationModel::Endless),
             max_k,
         ),
-        CdfSeries::from_classifications("Alexa Top", &classified(&scenario.alexa, DurationModel::Recorded), max_k),
+        CdfSeries::from_classifications(
+            "Alexa Top",
+            &classified(&scenario.alexa, DurationModel::Recorded),
+            max_k,
+        ),
         CdfSeries::from_classifications(
             "Alexa w/o Fetch",
             &classified(&scenario.alexa_without_fetch, DurationModel::Recorded),
@@ -244,11 +248,15 @@ fn table1(scenario: &Scenario) -> String {
 /// Tables 2, 8 and 12: top IP-cause origins with their previous origins.
 fn origin_table(scenario: &Scenario, title: &str, limit: usize) -> String {
     let mut out = String::new();
-    for (dataset, model) in [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)] {
+    for (dataset, model) in
+        [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)]
+    {
         let classifications = classified(dataset, model);
         let rows = top_origins_for_cause(dataset, &classifications, Cause::Ip, limit);
-        let mut table =
-            TextTable::new(&format!("{title} — {}", dataset.label), &["rank", "origin", "conns.", "prev", "prev conns."]);
+        let mut table = TextTable::new(
+            &format!("{title} — {}", dataset.label),
+            &["rank", "origin", "conns.", "prev", "prev conns."],
+        );
         for (rank, row) in rows.iter().enumerate() {
             let (previous, previous_count) = row
                 .top_previous()
@@ -272,7 +280,9 @@ fn origin_table(scenario: &Scenario, title: &str, limit: usize) -> String {
 /// Tables 3 and 9: issuers behind CERT redundancy.
 fn issuer_table(scenario: &Scenario, title: &str) -> String {
     let mut out = String::new();
-    for (dataset, model) in [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)] {
+    for (dataset, model) in
+        [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)]
+    {
         let classifications = classified(dataset, model);
         let rows = cert_issuers(dataset, &classifications, 7);
         let mut table = TextTable::new(
@@ -297,7 +307,9 @@ fn issuer_table(scenario: &Scenario, title: &str) -> String {
 /// Tables 4 and 10: CERT domains with previous origins and issuers.
 fn cert_domain_table(scenario: &Scenario, title: &str, limit: usize) -> String {
     let mut out = String::new();
-    for (dataset, model) in [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)] {
+    for (dataset, model) in
+        [(&scenario.har, DurationModel::Endless), (&scenario.alexa, DurationModel::Recorded)]
+    {
         let classifications = classified(dataset, model);
         let rows = cert_domains(dataset, &classifications, limit);
         let mut table = TextTable::new(
@@ -305,7 +317,8 @@ fn cert_domain_table(scenario: &Scenario, title: &str, limit: usize) -> String {
             &["rank", "domain", "conns.", "prev", "issuer"],
         );
         for (rank, row) in rows.iter().enumerate() {
-            let previous = row.previous.first().map(|(d, _)| d.to_string()).unwrap_or_else(|| "-".to_string());
+            let previous =
+                row.previous.first().map(|(d, _)| d.to_string()).unwrap_or_else(|| "-".to_string());
             table.push_row([
                 (rank + 1).to_string(),
                 row.domain.to_string(),
@@ -594,9 +607,10 @@ fn whatif(scenario: &Scenario) -> String {
 
     // Providers synchronize their DNS (same population size and seed, fixed
     // catalog), measured with stock Chromium.
-    let synchronized_env = PopulationBuilder::new(PopulationProfile::alexa(), config.alexa_sites, config.seed + 1)
-        .with_catalog(ServiceCatalog::standard().with_synchronized_dns())
-        .build();
+    let synchronized_env =
+        PopulationBuilder::new(PopulationProfile::alexa(), config.alexa_sites, config.seed + 1)
+            .with_catalog(ServiceCatalog::standard().with_synchronized_dns())
+            .build();
     let synchronized = crawl(&synchronized_env, "synchronized DNS", BrowserConfig::alexa_measurement());
 
     // Everything at once.

@@ -38,7 +38,12 @@ impl Default for ScenarioConfig {
 impl ScenarioConfig {
     /// A small configuration for tests and micro-benchmarks.
     pub fn quick() -> Self {
-        ScenarioConfig { archive_sites: 300, alexa_sites: 180, overlap_sites: 80, ..ScenarioConfig::default() }
+        ScenarioConfig {
+            archive_sites: 300,
+            alexa_sites: 180,
+            overlap_sites: 80,
+            ..ScenarioConfig::default()
+        }
     }
 }
 
@@ -99,9 +104,10 @@ impl Scenario {
         overlap_har_corpus.filter();
         let overlap_har = dataset_from_har(&overlap_har_corpus, "HAR Overlap");
 
-        let overlap_report = Crawler::new("Alexa Overlap", BrowserConfig::alexa_measurement(), config.seed + 21)
-            .with_threads(config.threads)
-            .crawl(&overlap_env);
+        let overlap_report =
+            Crawler::new("Alexa Overlap", BrowserConfig::alexa_measurement(), config.seed + 21)
+                .with_threads(config.threads)
+                .crawl(&overlap_env);
         let overlap_alexa = dataset_from_crawl(&overlap_report);
 
         Scenario {

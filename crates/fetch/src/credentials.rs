@@ -120,12 +120,8 @@ mod tests {
 
     #[test]
     fn explicit_omit_is_always_anonymous() {
-        let mut xhr = FetchRequest::with_defaults(
-            o("example.com"),
-            "/api",
-            o("example.com"),
-            RequestDestination::Xhr,
-        );
+        let mut xhr =
+            FetchRequest::with_defaults(o("example.com"), "/api", o("example.com"), RequestDestination::Xhr);
         xhr.credentials = CredentialsMode::Omit;
         assert!(!includes_credentials(&xhr));
     }

@@ -28,6 +28,6 @@ pub mod request;
 pub mod tainting;
 
 pub use cors::{CorsCheck, CorsPolicy};
-pub use credentials::{CredentialsPartition, includes_credentials, partition_for};
+pub use credentials::{includes_credentials, partition_for, CredentialsPartition};
 pub use request::{CredentialsMode, FetchRequest, RequestDestination, RequestMode};
 pub use tainting::ResponseTainting;

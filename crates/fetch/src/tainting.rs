@@ -53,15 +53,24 @@ mod tests {
 
     #[test]
     fn same_origin_is_basic() {
-        let req = FetchRequest::with_defaults(o("example.com"), "/a.js", o("example.com"), RequestDestination::Script);
+        let req = FetchRequest::with_defaults(
+            o("example.com"),
+            "/a.js",
+            o("example.com"),
+            RequestDestination::Script,
+        );
         assert_eq!(ResponseTainting::for_request(&req), ResponseTainting::Basic);
         assert!(ResponseTainting::Basic.is_readable());
     }
 
     #[test]
     fn cross_origin_nocors_is_opaque() {
-        let req =
-            FetchRequest::with_defaults(o("cdn.example.net"), "/a.js", o("example.com"), RequestDestination::Script);
+        let req = FetchRequest::with_defaults(
+            o("cdn.example.net"),
+            "/a.js",
+            o("example.com"),
+            RequestDestination::Script,
+        );
         assert_eq!(ResponseTainting::for_request(&req), ResponseTainting::Opaque);
         assert!(!ResponseTainting::Opaque.is_readable());
     }

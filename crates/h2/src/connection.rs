@@ -176,9 +176,7 @@ impl Connection {
         let encoded = self.encoder.encode_block_size(&headers);
         self.header_octets_sent += encoded as u64;
         self.requests_sent += 1;
-        let state = StreamState::Idle
-            .send_headers(true)
-            .expect("idle stream always accepts HEADERS");
+        let state = StreamState::Idle.send_headers(true).expect("idle stream always accepts HEADERS");
         self.streams.insert(stream_id, state);
         Ok(stream_id)
     }
@@ -224,7 +222,8 @@ impl Connection {
     /// `true` if the connection is usable for new requests at `now` (it has
     /// been established and not yet closed).
     pub fn is_open_at(&self, now: Instant) -> bool {
-        now >= self.established_at && self.closed_at.map(|closed| now < closed).unwrap_or(true)
+        now >= self.established_at
+            && self.closed_at.map(|closed| now < closed).unwrap_or(true)
             && self.state != ConnectionState::Closed
     }
 
@@ -257,12 +256,8 @@ mod tests {
     fn certificate_for(domains: &[&str]) -> Certificate {
         let mut store = CertificateStore::new();
         let names: Vec<DomainName> = domains.iter().map(|s| d(s)).collect();
-        let ids = store.issue_with_policy(
-            Issuer::digicert(),
-            &IssuancePolicy::SharedSan,
-            &names,
-            Instant::EPOCH,
-        );
+        let ids =
+            store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &names, Instant::EPOCH);
         store.get(ids[0]).unwrap().clone()
     }
 

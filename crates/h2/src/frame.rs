@@ -277,7 +277,8 @@ impl Frame {
         let len = ((buf[0] as usize) << 16) | ((buf[1] as usize) << 8) | buf[2] as usize;
         let type_code = buf[3];
         let flags = buf[4];
-        let stream_raw = ((buf[5] as u32) << 24) | ((buf[6] as u32) << 16) | ((buf[7] as u32) << 8) | buf[8] as u32;
+        let stream_raw =
+            ((buf[5] as u32) << 24) | ((buf[6] as u32) << 16) | ((buf[7] as u32) << 8) | buf[8] as u32;
         let stream = StreamId::new(stream_raw & 0x7FFF_FFFF);
         if buf.len() < 9 + len {
             return Err(FrameDecodeError::Truncated);
@@ -286,16 +287,12 @@ impl Frame {
         let mut payload = buf.split_to(len);
         let frame_type = FrameType::from_code(type_code).ok_or(FrameDecodeError::UnknownType(type_code))?;
         let frame = match frame_type {
-            FrameType::Data => Frame::Data {
-                stream,
-                len: len as u32,
-                end_stream: flags & FLAG_END_STREAM != 0,
-            },
-            FrameType::Headers => Frame::Headers {
-                stream,
-                block: payload.to_vec(),
-                end_stream: flags & FLAG_END_STREAM != 0,
-            },
+            FrameType::Data => {
+                Frame::Data { stream, len: len as u32, end_stream: flags & FLAG_END_STREAM != 0 }
+            }
+            FrameType::Headers => {
+                Frame::Headers { stream, block: payload.to_vec(), end_stream: flags & FLAG_END_STREAM != 0 }
+            }
             FrameType::RstStream => {
                 if payload.len() < 4 {
                     return Err(FrameDecodeError::BadPayload(frame_type));
@@ -306,7 +303,7 @@ impl Frame {
                 if flags & FLAG_ACK != 0 {
                     Frame::Settings { ack: true, parameters: vec![] }
                 } else {
-                    if payload.len() % 6 != 0 {
+                    if !payload.len().is_multiple_of(6) {
                         return Err(FrameDecodeError::BadPayload(frame_type));
                     }
                     let mut parameters = Vec::with_capacity(payload.len() / 6);

@@ -192,8 +192,12 @@ mod tests {
     fn conn(cert_domains: &[&str], ip: IpAddr, credentialed: bool) -> Connection {
         let mut store = CertificateStore::new();
         let names: Vec<DomainName> = cert_domains.iter().map(|s| d(s)).collect();
-        let ids =
-            store.issue_with_policy(Issuer::google_trust_services(), &IssuancePolicy::SharedSan, &names, Instant::EPOCH);
+        let ids = store.issue_with_policy(
+            Issuer::google_trust_services(),
+            &IssuancePolicy::SharedSan,
+            &names,
+            Instant::EPOCH,
+        );
         Connection::establish(
             ConnectionId(1),
             Origin::https(names[0].clone()),
@@ -211,13 +215,8 @@ mod tests {
     #[test]
     fn reusable_when_everything_matches() {
         let c = conn(&["www.googletagmanager.com", "www.google-analytics.com"], IP_A, true);
-        let decision = evaluate(
-            &c,
-            &Origin::https(d("www.google-analytics.com")),
-            IP_A,
-            true,
-            &ReusePolicy::chromium(),
-        );
+        let decision =
+            evaluate(&c, &Origin::https(d("www.google-analytics.com")), IP_A, true, &ReusePolicy::chromium());
         assert!(decision.is_reusable());
         assert!(decision.refusals().is_empty());
     }
@@ -225,13 +224,8 @@ mod tests {
     #[test]
     fn ip_mismatch_is_the_paper_ip_cause() {
         let c = conn(&["www.googletagmanager.com", "www.google-analytics.com"], IP_A, true);
-        let decision = evaluate(
-            &c,
-            &Origin::https(d("www.google-analytics.com")),
-            IP_B,
-            true,
-            &ReusePolicy::chromium(),
-        );
+        let decision =
+            evaluate(&c, &Origin::https(d("www.google-analytics.com")), IP_B, true, &ReusePolicy::chromium());
         assert_eq!(decision, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
     }
 
@@ -247,7 +241,8 @@ mod tests {
     fn credentials_partition_is_the_cred_cause() {
         let c = conn(&["fonts.gstatic.com", "www.gstatic.com"], IP_A, true);
         // Cross-origin font fetch: no credentials, same IP, covered by SAN.
-        let strict = evaluate(&c, &Origin::https(d("fonts.gstatic.com")), IP_A, false, &ReusePolicy::chromium());
+        let strict =
+            evaluate(&c, &Origin::https(d("fonts.gstatic.com")), IP_A, false, &ReusePolicy::chromium());
         assert_eq!(strict, ReuseDecision::Refused(vec![ReuseRefusal::CredentialsMismatch]));
         // The patched browser ("Alexa w/o Fetch") reuses it.
         let patched = evaluate(
@@ -276,7 +271,8 @@ mod tests {
         let mut c = conn(&["www.example.com", "api.example.com"], IP_A, true);
         let stream = c.send_request(&d("api.example.com"), "/v1", None).unwrap();
         c.complete_response(stream, &d("api.example.com"), 421, 0).unwrap();
-        let decision = evaluate(&c, &Origin::https(d("api.example.com")), IP_A, true, &ReusePolicy::chromium());
+        let decision =
+            evaluate(&c, &Origin::https(d("api.example.com")), IP_A, true, &ReusePolicy::chromium());
         assert!(decision.refused_because(ReuseRefusal::ExcludedByServer));
     }
 
@@ -290,7 +286,8 @@ mod tests {
             evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &ReusePolicy::with_origin_frame());
         assert!(honored.is_reusable());
         // Chromium ignores the frame, so the IP mismatch still refuses reuse.
-        let chromium = evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &ReusePolicy::chromium());
+        let chromium =
+            evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &ReusePolicy::chromium());
         assert_eq!(chromium, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
     }
 
@@ -298,8 +295,13 @@ mod tests {
     fn origin_frame_restricts_non_members() {
         let mut c = conn(&["cdn.example.com", "img.example.com", "other.example.com"], IP_A, true);
         c.receive_origin_set([d("img.example.com")]);
-        let decision =
-            evaluate(&c, &Origin::https(d("other.example.com")), IP_A, true, &ReusePolicy::with_origin_frame());
+        let decision = evaluate(
+            &c,
+            &Origin::https(d("other.example.com")),
+            IP_A,
+            true,
+            &ReusePolicy::with_origin_frame(),
+        );
         assert!(decision.refused_because(ReuseRefusal::NotInOriginSet));
     }
 
@@ -310,7 +312,8 @@ mod tests {
         let decision = evaluate(&c, &other_port, IP_A, true, &ReusePolicy::chromium());
         assert!(decision.refused_because(ReuseRefusal::SchemePortMismatch));
         c.receive_goaway();
-        let draining = evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
+        let draining =
+            evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
         assert!(draining.refused_because(ReuseRefusal::NotAcceptingStreams));
     }
 
@@ -319,7 +322,8 @@ mod tests {
         let mut c = conn(&["www.example.com"], IP_A, true);
         c.remote_settings.max_concurrent_streams = 1;
         c.send_request(&d("www.example.com"), "/", None).unwrap();
-        let decision = evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
+        let decision =
+            evaluate(&c, &Origin::https(d("www.example.com")), IP_A, true, &ReusePolicy::chromium());
         assert!(decision.refused_because(ReuseRefusal::ConcurrencyExhausted));
     }
 }

@@ -93,7 +93,9 @@ impl StreamState {
     /// Transition for sending HEADERS (opening the stream).
     pub fn send_headers(self, end_stream: bool) -> Result<StreamState, StreamError> {
         match self {
-            StreamState::Idle => Ok(if end_stream { StreamState::HalfClosedLocal } else { StreamState::Open }),
+            StreamState::Idle => {
+                Ok(if end_stream { StreamState::HalfClosedLocal } else { StreamState::Open })
+            }
             from => Err(StreamError::InvalidTransition { from, action: "send HEADERS" }),
         }
     }

@@ -271,9 +271,8 @@ mod tests {
     #[test]
     fn clean_capture_passes_the_filter_untouched() {
         let environment = env(5);
-        let mut dataset = ArchivePipeline::new(7)
-            .with_inconsistencies(InconsistencyConfig::none())
-            .run(&environment);
+        let mut dataset =
+            ArchivePipeline::new(7).with_inconsistencies(InconsistencyConfig::none()).run(&environment);
         let before = dataset.total_entries();
         let stats = dataset.filter();
         assert_eq!(stats.dropped(), 0);

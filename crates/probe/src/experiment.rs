@@ -19,14 +19,22 @@ pub struct ProbeConfig {
 
 impl Default for ProbeConfig {
     fn default() -> Self {
-        ProbeConfig { interval: Duration::from_mins(6), duration: Duration::from_days(8), pairs: default_pairs() }
+        ProbeConfig {
+            interval: Duration::from_mins(6),
+            duration: Duration::from_days(8),
+            pairs: default_pairs(),
+        }
     }
 }
 
 impl ProbeConfig {
     /// A shorter probe (handy for tests and quick runs).
     pub fn quick() -> Self {
-        ProbeConfig { interval: Duration::from_mins(6), duration: Duration::from_hours(12), pairs: default_pairs() }
+        ProbeConfig {
+            interval: Duration::from_mins(6),
+            duration: Duration::from_hours(12),
+            pairs: default_pairs(),
+        }
     }
 
     /// Number of time slots the configuration produces.

@@ -47,11 +47,21 @@ pub fn resolver_panel() -> Vec<ResolverDescription> {
         ResolverDescription::new("177.47.128.2", "Brazil", "Ver Tv Comunicações S/A", Vantage::SouthAmerica),
         ResolverDescription::new("178.237.152.146", "Spain", "MAXEN TECHNOLOGIES, S.L.", Vantage::Europe),
         ResolverDescription::new("195.208.5.1", "Russia", "MSK-IX", Vantage::Europe),
-        ResolverDescription::new("203.50.2.71", "Australia", "Telstra Corporation Limited", Vantage::AsiaPacific),
+        ResolverDescription::new(
+            "203.50.2.71",
+            "Australia",
+            "Telstra Corporation Limited",
+            Vantage::AsiaPacific,
+        ),
         ResolverDescription::new("210.87.250.59", "Hong Kong", "HKT Limited", Vantage::AsiaPacific),
         ResolverDescription::new("212.89.130.180", "Germany", "Infoserve GmbH", Vantage::Europe),
         ResolverDescription::new("221.119.13.154", "Japan", "Marss Japan Co., Ltd", Vantage::AsiaPacific),
-        ResolverDescription::new("8.0.26.0", "United Kingdom", "Level 3 Communications, Inc.", Vantage::Europe),
+        ResolverDescription::new(
+            "8.0.26.0",
+            "United Kingdom",
+            "Level 3 Communications, Inc.",
+            Vantage::Europe,
+        ),
         ResolverDescription::new("8.0.6.0", "USA", "Level 3 Communications, Inc.", Vantage::NorthAmerica),
         ResolverDescription::new("80.67.169.12", "France", "French Data Network (FDN)", Vantage::Europe),
     ]

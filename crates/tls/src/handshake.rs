@@ -61,7 +61,7 @@ impl HandshakeConfig {
         } else {
             let tcp = 1;
             let tls = if self.session_resumption {
-                self.version.handshake_rtts().saturating_sub(1).max(0)
+                self.version.handshake_rtts().saturating_sub(1)
             } else {
                 self.version.handshake_rtts()
             };
@@ -96,11 +96,7 @@ mod tests {
     fn resumption_saves_a_round_trip() {
         let cfg = HandshakeConfig { session_resumption: true, ..Default::default() };
         assert_eq!(cfg.setup_rtts(), 1);
-        let cfg12 = HandshakeConfig {
-            version: TlsVersion::Tls12,
-            session_resumption: true,
-            quic: false,
-        };
+        let cfg12 = HandshakeConfig { version: TlsVersion::Tls12, session_resumption: true, quic: false };
         assert_eq!(cfg12.setup_rtts(), 2);
     }
 

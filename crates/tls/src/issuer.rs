@@ -199,12 +199,8 @@ mod tests {
     #[test]
     fn lets_encrypt_leads_by_weight() {
         let catalog = IssuerCatalog::default_market();
-        let le_weight = catalog
-            .entries()
-            .iter()
-            .find(|(i, _)| *i == Issuer::lets_encrypt())
-            .map(|(_, w)| *w)
-            .unwrap();
+        let le_weight =
+            catalog.entries().iter().find(|(i, _)| *i == Issuer::lets_encrypt()).map(|(_, w)| *w).unwrap();
         assert!(catalog.entries().iter().all(|(_, w)| *w <= le_weight));
     }
 

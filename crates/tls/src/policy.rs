@@ -48,11 +48,7 @@ impl IssuancePolicy {
                     vec![domains.iter().cloned().map(SanEntry::Dns).collect()]
                 }
             }
-            IssuancePolicy::PerDomain => domains
-                .iter()
-                .cloned()
-                .map(|d| vec![SanEntry::Dns(d)])
-                .collect(),
+            IssuancePolicy::PerDomain => domains.iter().cloned().map(|d| vec![SanEntry::Dns(d)]).collect(),
             IssuancePolicy::Wildcard { zone } => {
                 if domains.is_empty() {
                     Vec::new()
@@ -71,10 +67,7 @@ impl IssuancePolicy {
             }
             IssuancePolicy::Grouped { group_size } => {
                 let size = (*group_size).max(1);
-                domains
-                    .chunks(size)
-                    .map(|chunk| chunk.iter().cloned().map(SanEntry::Dns).collect())
-                    .collect()
+                domains.chunks(size).map(|chunk| chunk.iter().cloned().map(SanEntry::Dns).collect()).collect()
             }
         }
     }

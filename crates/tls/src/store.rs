@@ -53,14 +53,8 @@ impl CertificateStore {
                 SanEntry::Wildcard(z) => z.clone(),
             })
             .unwrap_or_else(|| DomainName::literal("invalid.invalid"));
-        let cert = Certificate {
-            id,
-            subject,
-            san,
-            issuer,
-            not_before,
-            not_after: not_before + DEFAULT_VALIDITY,
-        };
+        let cert =
+            Certificate { id, subject, san, issuer, not_before, not_after: not_before + DEFAULT_VALIDITY };
         for entry in &cert.san {
             match entry {
                 SanEntry::Dns(d) => self.by_domain.entry(d.clone()).or_default().push(id),
@@ -80,11 +74,7 @@ impl CertificateStore {
         domains: &[DomainName],
         not_before: Instant,
     ) -> Vec<CertificateId> {
-        policy
-            .partition(domains)
-            .into_iter()
-            .map(|san| self.issue(issuer.clone(), san, not_before))
-            .collect()
+        policy.partition(domains).into_iter().map(|san| self.issue(issuer.clone(), san, not_before)).collect()
     }
 
     /// Fetch a certificate by id.
@@ -110,7 +100,7 @@ impl CertificateStore {
                 ids.extend(wc.iter().copied());
             }
         }
-        ids.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        ids.sort_unstable_by_key(|id| std::cmp::Reverse(id.0));
         ids.dedup();
         ids.iter().filter_map(|id| self.get(*id)).collect()
     }

@@ -44,8 +44,8 @@ impl std::error::Error for DomainError {}
 /// suffixes; anything not listed here is treated as a single-label suffix
 /// (`com`, `net`, `de`, ...).
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.jp", "com.br", "com.cn", "co.kr",
-    "com.tr", "com.mx", "co.in", "co.za", "com.ar", "gov.uk",
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.jp", "com.br", "com.cn", "co.kr", "com.tr", "com.mx",
+    "co.in", "co.za", "com.ar", "gov.uk",
 ];
 
 /// A canonicalised (lower-case, no trailing dot) DNS domain name.
@@ -239,10 +239,7 @@ mod tests {
         assert!(matches!(DomainName::parse("exa mple.com"), Err(DomainError::BadCharacter(_))));
         assert!(matches!(DomainName::parse("-bad.com"), Err(DomainError::BadCharacter(_))));
         let long_label = "a".repeat(64);
-        assert!(matches!(
-            DomainName::parse(&format!("{long_label}.com")),
-            Err(DomainError::BadLength(_))
-        ));
+        assert!(matches!(DomainName::parse(&format!("{long_label}.com")), Err(DomainError::BadLength(_))));
         let long_name = format!("{}.com", vec!["abcdefgh"; 32].join("."));
         assert!(matches!(DomainName::parse(&long_name), Err(DomainError::BadLength(_))));
     }
@@ -267,10 +264,7 @@ mod tests {
             DomainName::literal("www.google-analytics.com").registrable().as_str(),
             "google-analytics.com"
         );
-        assert_eq!(
-            DomainName::literal("a.b.shop.example.co.uk").registrable().as_str(),
-            "example.co.uk"
-        );
+        assert_eq!(DomainName::literal("a.b.shop.example.co.uk").registrable().as_str(), "example.co.uk");
         assert_eq!(DomainName::literal("com").registrable().as_str(), "com");
         assert_eq!(DomainName::literal("example.de").registrable().as_str(), "example.de");
     }

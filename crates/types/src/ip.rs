@@ -24,12 +24,7 @@ impl IpAddr {
 
     /// The four octets, most significant first.
     pub const fn octets(self) -> [u8; 4] {
-        [
-            (self.0 >> 24) as u8,
-            (self.0 >> 16) as u8,
-            (self.0 >> 8) as u8,
-            self.0 as u8,
-        ]
+        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
     }
 
     /// The enclosing /24 prefix — the granularity at which the paper observes
@@ -97,9 +92,7 @@ impl FromStr for IpAddr {
         }
         let mut octets = [0u8; 4];
         for (i, part) in parts.iter().enumerate() {
-            octets[i] = part
-                .parse::<u8>()
-                .map_err(|_| IpParseError::BadAddress(s.to_string()))?;
+            octets[i] = part.parse::<u8>().map_err(|_| IpParseError::BadAddress(s.to_string()))?;
         }
         Ok(IpAddr::new(octets[0], octets[1], octets[2], octets[3]))
     }
@@ -133,6 +126,10 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// This is a CIDR mask length, not a container length, so there is no
+    /// matching `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -183,13 +180,9 @@ impl FromStr for Prefix {
     type Err = IpParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s
-            .split_once('/')
-            .ok_or_else(|| IpParseError::BadPrefixLength(s.to_string()))?;
+        let (addr, len) = s.split_once('/').ok_or_else(|| IpParseError::BadPrefixLength(s.to_string()))?;
         let base: IpAddr = addr.parse()?;
-        let len: u8 = len
-            .parse()
-            .map_err(|_| IpParseError::BadPrefixLength(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| IpParseError::BadPrefixLength(s.to_string()))?;
         if len > 32 {
             return Err(IpParseError::BadPrefixLength(s.to_string()));
         }

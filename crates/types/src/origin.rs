@@ -79,9 +79,7 @@ impl Origin {
         };
         let rest = rest.split('/').next().unwrap_or(rest);
         let (host, port) = match rest.rsplit_once(':') {
-            Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => {
-                (h, p.parse().ok()?)
-            }
+            Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => (h, p.parse().ok()?),
             _ => (rest, scheme.default_port()),
         };
         Some(Origin { scheme, host: DomainName::parse(host).ok()?, port })

@@ -40,7 +40,8 @@ impl SimRng {
     /// Derive an independent generator for the `index`-th element of the
     /// subsystem named `label` (e.g. one stream per generated site).
     pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
-        let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index.wrapping_add(0x9E37_79B9)));
+        let derived =
+            splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index.wrapping_add(0x9E37_79B9)));
         SimRng::new(derived)
     }
 

@@ -71,7 +71,7 @@ impl Duration {
 
 impl fmt::Display for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.millis % 1000 == 0 {
+        if self.millis.is_multiple_of(1000) {
             write!(f, "{}s", self.millis / 1000)
         } else {
             write!(f, "{}ms", self.millis)
@@ -179,7 +179,7 @@ impl SimClock {
 
     /// Advance the clock by `d` and return the new time.
     pub fn advance(&mut self, d: Duration) -> Instant {
-        self.now = self.now + d;
+        self.now += d;
         self.now
     }
 

@@ -37,5 +37,7 @@ pub use environment::WebEnvironment;
 pub use population::PopulationBuilder;
 pub use profiles::PopulationProfile;
 pub use resources::PlannedRequest;
-pub use services::{DnsDeployment, IpCluster, ServiceCatalog, ServiceHosting, ServiceRequest, ThirdPartyService};
+pub use services::{
+    DnsDeployment, IpCluster, ServiceCatalog, ServiceHosting, ServiceRequest, ThirdPartyService,
+};
 pub use site::{ShardingPlan, Website};

@@ -231,7 +231,8 @@ impl PopulationBuilder {
     fn site_domain(&self, index: usize, rng: &mut SimRng) -> DomainName {
         let weights: Vec<f64> = TLDS.iter().map(|(_, w)| *w).collect();
         let tld = TLDS[rng.pick_weighted_index(&weights).unwrap_or(0)].0;
-        DomainName::parse(&format!("{}-site-{index:06}.{tld}", self.profile.name)).expect("generated domain is valid")
+        DomainName::parse(&format!("{}-site-{index:06}.{tld}", self.profile.name))
+            .expect("generated domain is valid")
     }
 
     fn install_misc_third_party(
@@ -254,7 +255,12 @@ impl PopulationBuilder {
         env.authority.insert_entry(domain.clone(), ZoneEntry::single(prefix.host(20)));
         let weights = self.issuers.weights();
         let issuer = self.issuers.issuer_at(rng.pick_weighted_index(&weights).unwrap_or(0)).clone();
-        env.certificates.issue_with_policy(issuer, &IssuancePolicy::SharedSan, &[domain.clone()], Instant::EPOCH);
+        env.certificates.issue_with_policy(
+            issuer,
+            &IssuancePolicy::SharedSan,
+            std::slice::from_ref(domain),
+            Instant::EPOCH,
+        );
     }
 }
 
@@ -313,7 +319,12 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
         }
     }
     for group in &hosting.certificate_groups {
-        env.certificates.issue_with_policy(hosting.issuer.clone(), &IssuancePolicy::SharedSan, group, Instant::EPOCH);
+        env.certificates.issue_with_policy(
+            hosting.issuer.clone(),
+            &IssuancePolicy::SharedSan,
+            group,
+            Instant::EPOCH,
+        );
     }
 }
 
@@ -430,7 +441,11 @@ mod tests {
         let ga = DomainName::literal("www.google-analytics.com");
         let records = env.authority.query(
             &ga,
-            &netsim_dns::QueryContext::new(netsim_dns::ResolverId(0), netsim_dns::Vantage::Europe, Instant::EPOCH),
+            &netsim_dns::QueryContext::new(
+                netsim_dns::ResolverId(0),
+                netsim_dns::Vantage::Europe,
+                Instant::EPOCH,
+            ),
         );
         assert!(!records.is_empty());
         let ip = records[0].data.as_a().unwrap();

@@ -233,7 +233,13 @@ fn google_analytics() -> ThirdPartyService {
     ThirdPartyService {
         name: "google-analytics".to_string(),
         requests: vec![
-            ServiceRequest::new("www.googletagmanager.com", "/gtag/js", RequestDestination::Script, None, 94_000),
+            ServiceRequest::new(
+                "www.googletagmanager.com",
+                "/gtag/js",
+                RequestDestination::Script,
+                None,
+                94_000,
+            ),
             ServiceRequest::new(
                 "www.google-analytics.com",
                 "/analytics.js",
@@ -241,11 +247,23 @@ fn google_analytics() -> ThirdPartyService {
                 Some(0),
                 50_000,
             ),
-            ServiceRequest::new("www.google-analytics.com", "/j/collect", RequestDestination::Beacon, Some(1), 35)
-                .anonymous()
-                .with_probability(0.8),
-            ServiceRequest::new("www.google-analytics.com", "/collect", RequestDestination::Image, Some(1), 35)
-                .with_probability(0.35),
+            ServiceRequest::new(
+                "www.google-analytics.com",
+                "/j/collect",
+                RequestDestination::Beacon,
+                Some(1),
+                35,
+            )
+            .anonymous()
+            .with_probability(0.8),
+            ServiceRequest::new(
+                "www.google-analytics.com",
+                "/collect",
+                RequestDestination::Image,
+                Some(1),
+                35,
+            )
+            .with_probability(0.35),
             // gtag keeps talking to the tag manager after analytics loaded,
             // which keeps the first connection alive past the point where the
             // analytics connection is opened (matters for the paper's
@@ -287,10 +305,22 @@ fn facebook_pixel() -> ThirdPartyService {
                 104_000,
             ),
             ServiceRequest::new("www.facebook.com", "/tr/", RequestDestination::Image, Some(0), 44),
-            ServiceRequest::new("www.facebook.com", "/tr/?ev=PageView", RequestDestination::Image, Some(0), 44)
-                .with_probability(0.4),
-            ServiceRequest::new("connect.facebook.net", "/signals/config/1234", RequestDestination::Script, Some(1), 38_000)
-                .with_probability(0.5),
+            ServiceRequest::new(
+                "www.facebook.com",
+                "/tr/?ev=PageView",
+                RequestDestination::Image,
+                Some(0),
+                44,
+            )
+            .with_probability(0.4),
+            ServiceRequest::new(
+                "connect.facebook.net",
+                "/signals/config/1234",
+                RequestDestination::Script,
+                Some(1),
+                38_000,
+            )
+            .with_probability(0.5),
         ],
         hosting: ServiceHosting {
             operator: "Facebook".to_string(),
@@ -394,14 +424,8 @@ fn google_ads() -> ThirdPartyService {
                 4_000,
             )
             .with_probability(0.3),
-            ServiceRequest::new(
-                "cm.g.doubleclick.net",
-                "/pixel",
-                RequestDestination::Image,
-                Some(2),
-                43,
-            )
-            .with_probability(0.25),
+            ServiceRequest::new("cm.g.doubleclick.net", "/pixel", RequestDestination::Image, Some(2), 43)
+                .with_probability(0.25),
             // Late ad refreshes keep the syndication connection in use after
             // the doubleclick connection exists.
             ServiceRequest::new(
@@ -536,13 +560,31 @@ fn google_platform() -> ThirdPartyService {
     ThirdPartyService {
         name: "google-platform".to_string(),
         requests: vec![
-            ServiceRequest::new("www.gstatic.com", "/og/_/js/k=og.qtm.en_US.js", RequestDestination::Script, None, 86_000),
-            ServiceRequest::new("apis.google.com", "/js/platform.js", RequestDestination::Script, Some(0), 58_000)
-                .with_probability(0.8),
+            ServiceRequest::new(
+                "www.gstatic.com",
+                "/og/_/js/k=og.qtm.en_US.js",
+                RequestDestination::Script,
+                None,
+                86_000,
+            ),
+            ServiceRequest::new(
+                "apis.google.com",
+                "/js/platform.js",
+                RequestDestination::Script,
+                Some(0),
+                58_000,
+            )
+            .with_probability(0.8),
             ServiceRequest::new("ogs.google.com", "/widget/app", RequestDestination::Iframe, Some(0), 22_000)
                 .with_probability(0.4),
-            ServiceRequest::new("www.google.com", "/recaptcha/api.js", RequestDestination::Script, None, 1_200)
-                .with_probability(0.35),
+            ServiceRequest::new(
+                "www.google.com",
+                "/recaptcha/api.js",
+                RequestDestination::Script,
+                None,
+                1_200,
+            )
+            .with_probability(0.35),
         ],
         hosting: ServiceHosting {
             operator: "Google".to_string(),
@@ -567,8 +609,20 @@ fn youtube_embed() -> ThirdPartyService {
     ThirdPartyService {
         name: "youtube-embed".to_string(),
         requests: vec![
-            ServiceRequest::new("www.youtube.com", "/embed/dQw4w9WgXcQ", RequestDestination::Iframe, None, 62_000),
-            ServiceRequest::new("i.ytimg.com", "/vi/dQw4w9WgXcQ/hqdefault.jpg", RequestDestination::Image, Some(0), 28_000),
+            ServiceRequest::new(
+                "www.youtube.com",
+                "/embed/dQw4w9WgXcQ",
+                RequestDestination::Iframe,
+                None,
+                62_000,
+            ),
+            ServiceRequest::new(
+                "i.ytimg.com",
+                "/vi/dQw4w9WgXcQ/hqdefault.jpg",
+                RequestDestination::Image,
+                Some(0),
+                28_000,
+            ),
             ServiceRequest::new(
                 "www.youtube.com",
                 "/s/player/base.js",
@@ -577,8 +631,14 @@ fn youtube_embed() -> ThirdPartyService {
                 1_100_000,
             )
             .with_probability(0.8),
-            ServiceRequest::new("i.ytimg.com", "/vi/dQw4w9WgXcQ/mqdefault.jpg", RequestDestination::Image, Some(0), 12_000)
-                .with_probability(0.3),
+            ServiceRequest::new(
+                "i.ytimg.com",
+                "/vi/dQw4w9WgXcQ/mqdefault.jpg",
+                RequestDestination::Image,
+                Some(0),
+                12_000,
+            )
+            .with_probability(0.3),
         ],
         hosting: ServiceHosting {
             operator: "Google".to_string(),
@@ -599,13 +659,31 @@ fn hotjar() -> ThirdPartyService {
     ThirdPartyService {
         name: "hotjar".to_string(),
         requests: vec![
-            ServiceRequest::new("static.hotjar.com", "/c/hotjar-1234.js", RequestDestination::Script, None, 19_000),
-            ServiceRequest::new("script.hotjar.com", "/modules.96a24ce.js", RequestDestination::Script, Some(0), 230_000),
+            ServiceRequest::new(
+                "static.hotjar.com",
+                "/c/hotjar-1234.js",
+                RequestDestination::Script,
+                None,
+                19_000,
+            ),
+            ServiceRequest::new(
+                "script.hotjar.com",
+                "/modules.96a24ce.js",
+                RequestDestination::Script,
+                Some(0),
+                230_000,
+            ),
             ServiceRequest::new("vars.hotjar.com", "/box-1234.html", RequestDestination::Xhr, Some(1), 2_400)
                 .anonymous()
                 .with_probability(0.8),
-            ServiceRequest::new("in.hotjar.com", "/api/v2/client/sites/1234", RequestDestination::Xhr, Some(1), 600)
-                .with_probability(0.6),
+            ServiceRequest::new(
+                "in.hotjar.com",
+                "/api/v2/client/sites/1234",
+                RequestDestination::Xhr,
+                Some(1),
+                600,
+            )
+            .with_probability(0.6),
         ],
         hosting: ServiceHosting {
             operator: "Hotjar".to_string(),
@@ -631,7 +709,13 @@ fn klaviyo() -> ThirdPartyService {
     ThirdPartyService {
         name: "klaviyo".to_string(),
         requests: vec![
-            ServiceRequest::new("static.klaviyo.com", "/onsite/js/klaviyo.js", RequestDestination::Script, None, 65_000),
+            ServiceRequest::new(
+                "static.klaviyo.com",
+                "/onsite/js/klaviyo.js",
+                RequestDestination::Script,
+                None,
+                65_000,
+            ),
             ServiceRequest::new(
                 "fast.a.klaviyo.com",
                 "/media/js/onsite/onsite.js",
@@ -661,9 +745,16 @@ fn wordpress_stats() -> ThirdPartyService {
     ThirdPartyService {
         name: "wp-stats".to_string(),
         requests: vec![
-            ServiceRequest::new("c0.wp.com", "/c/5.7.2/wp-includes/js/jquery/jquery.min.js", RequestDestination::Script, None, 98_000),
+            ServiceRequest::new(
+                "c0.wp.com",
+                "/c/5.7.2/wp-includes/js/jquery/jquery.min.js",
+                RequestDestination::Script,
+                None,
+                98_000,
+            ),
             ServiceRequest::new("stats.wp.com", "/e-202120.js", RequestDestination::Script, Some(0), 10_000),
-            ServiceRequest::new("pixel.wp.com", "/g.gif", RequestDestination::Image, Some(1), 43).with_probability(0.7),
+            ServiceRequest::new("pixel.wp.com", "/g.gif", RequestDestination::Image, Some(1), 43)
+                .with_probability(0.7),
         ],
         hosting: ServiceHosting {
             operator: "Automattic".to_string(),
@@ -726,7 +817,13 @@ fn reddit_widget() -> ThirdPartyService {
     ThirdPartyService {
         name: "reddit-widget".to_string(),
         requests: vec![
-            ServiceRequest::new("www.redditstatic.com", "/desktop2x/js/ads.js", RequestDestination::Script, None, 42_000),
+            ServiceRequest::new(
+                "www.redditstatic.com",
+                "/desktop2x/js/ads.js",
+                RequestDestination::Script,
+                None,
+                42_000,
+            ),
             ServiceRequest::new("alb.reddit.com", "/rp.gif", RequestDestination::Image, Some(0), 43),
         ],
         hosting: ServiceHosting {
@@ -749,7 +846,13 @@ fn unruly_sync() -> ThirdPartyService {
         name: "unruly-sync".to_string(),
         requests: vec![
             ServiceRequest::new("sync.1rx.io", "/usync", RequestDestination::Image, None, 43),
-            ServiceRequest::new("sync.targeting.unrulymedia.com", "/match", RequestDestination::Image, Some(0), 43),
+            ServiceRequest::new(
+                "sync.targeting.unrulymedia.com",
+                "/match",
+                RequestDestination::Image,
+                Some(0),
+                43,
+            ),
         ],
         hosting: ServiceHosting {
             operator: "Unruly".to_string(),
@@ -793,7 +896,11 @@ mod tests {
         for service in ServiceCatalog::standard().services() {
             for (index, request) in service.requests.iter().enumerate() {
                 if let Some(parent) = request.initiated_by {
-                    assert!(parent < index, "{}: request {index} references later parent {parent}", service.name);
+                    assert!(
+                        parent < index,
+                        "{}: request {index} references later parent {parent}",
+                        service.name
+                    );
                 }
                 assert!((0.0..=1.0).contains(&request.probability));
                 assert!(request.body_size > 0);
@@ -849,10 +956,7 @@ mod tests {
         let catalog = ServiceCatalog::standard();
         let ga = catalog.get("google-analytics").unwrap();
         assert_eq!(ga.hosting.certificate_groups.len(), 1);
-        assert!(matches!(
-            ga.hosting.ip_clusters[0].deployment,
-            DnsDeployment::UnsynchronizedPool { .. }
-        ));
+        assert!(matches!(ga.hosting.ip_clusters[0].deployment, DnsDeployment::UnsynchronizedPool { .. }));
     }
 
     #[test]

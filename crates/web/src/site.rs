@@ -92,8 +92,20 @@ mod tests {
             embedded_services: vec!["google-analytics".to_string()],
             plan: vec![
                 PlannedRequest::document(d("example.com")),
-                PlannedRequest::subresource(d("img.example.com"), "/a.png", RequestDestination::Image, 0, 1000),
-                PlannedRequest::subresource(d("img.example.com"), "/b.png", RequestDestination::Image, 0, 1000),
+                PlannedRequest::subresource(
+                    d("img.example.com"),
+                    "/a.png",
+                    RequestDestination::Image,
+                    0,
+                    1000,
+                ),
+                PlannedRequest::subresource(
+                    d("img.example.com"),
+                    "/b.png",
+                    RequestDestination::Image,
+                    0,
+                    1000,
+                ),
                 PlannedRequest::subresource(
                     d("www.googletagmanager.com"),
                     "/gtag/js",

@@ -31,7 +31,10 @@ fn main() {
     println!("  missing IP             {:>8}", stats.missing_ip);
     println!("  invalid method         {:>8}", stats.invalid_method);
     println!("  retained HTTP/2        {:>8}", stats.retained_http2);
-    println!("  dropped share          {:>7.1} %", stats.dropped() as f64 / stats.total_entries as f64 * 100.0);
+    println!(
+        "  dropped share          {:>7.1} %",
+        stats.dropped() as f64 / stats.total_entries as f64 * 100.0
+    );
 
     // One document as JSON, to show the captured format.
     let sample = &corpus.documents[0];
@@ -47,8 +50,7 @@ fn main() {
     println!("classifying under both duration bounds (HAR files carry no connection end times):");
     let dataset = dataset_from_har(&corpus, "HAR");
     for model in [DurationModel::Endless, DurationModel::Immediate] {
-        let summary =
-            DatasetSummary::from_classifications("HAR", &classify_dataset(&dataset, model));
+        let summary = DatasetSummary::from_classifications("HAR", &classify_dataset(&dataset, model));
         println!(
             "  {:?}: {} of {} sites ({:.0} %) open redundant connections; causes IP={} CRED={} CERT={}",
             model,

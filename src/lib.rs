@@ -45,8 +45,8 @@ pub use netsim_web as web;
 /// experiments.
 pub mod prelude {
     pub use connreuse_core::{
-        classify_dataset, classify_site, dataset_from_crawl, dataset_from_har, Cause, CdfSeries,
-        Dataset, DatasetSummary, DurationModel, SiteObservation,
+        classify_dataset, classify_site, dataset_from_crawl, dataset_from_har, Cause, CdfSeries, Dataset,
+        DatasetSummary, DurationModel, SiteObservation,
     };
     pub use connreuse_probe::{default_pairs, DomainPair, ProbeConfig, ProbeExperiment};
     pub use netsim_browser::{Browser, BrowserConfig, Crawler, PageVisit};

@@ -1,0 +1,31 @@
+//! Workspace smoke test: the whole pipeline — population generation, crawl,
+//! classification — must be a pure function of the seed. This guards the
+//! `SimRng` / `SimClock` substrate every experiment depends on: if any
+//! subsystem starts consuming ambient entropy (hash-map iteration order,
+//! wall-clock time, thread interleavings), this test catches it.
+
+use connreuse::prelude::*;
+use connreuse::quick_analysis;
+
+#[test]
+fn quick_analysis_is_deterministic_across_runs() {
+    let first = quick_analysis(PopulationProfile::alexa(), 30, 11);
+    let second = quick_analysis(PopulationProfile::alexa(), 30, 11);
+    assert_eq!(first, second, "same profile + seed must reproduce the identical summary");
+}
+
+#[test]
+fn quick_analysis_depends_on_the_seed() {
+    let a = quick_analysis(PopulationProfile::alexa(), 30, 11);
+    let b = quick_analysis(PopulationProfile::alexa(), 30, 12);
+    assert_ne!(a, b, "different seeds should explore different populations");
+}
+
+#[test]
+fn deterministic_across_profiles() {
+    for profile in [PopulationProfile::alexa(), PopulationProfile::archive()] {
+        let first = quick_analysis(profile.clone(), 20, 7);
+        let second = quick_analysis(profile, 20, 7);
+        assert_eq!(first, second);
+    }
+}

@@ -78,9 +78,9 @@ fn attribution_points_at_the_services_the_paper_names() {
     assert!(!issuers.is_empty());
     let issuer_names: Vec<&str> = issuers.iter().map(|row| row.issuer.organization()).collect();
     assert!(
-        issuer_names
-            .iter()
-            .any(|name| *name == "Let's Encrypt" || *name == "Google Trust Services" || *name == "DigiCert Inc"),
+        issuer_names.iter().any(|name| *name == "Let's Encrypt"
+            || *name == "Google Trust Services"
+            || *name == "DigiCert Inc"),
         "expected LE/GTS/DigiCert among the top CERT issuers, got {issuer_names:?}"
     );
 
@@ -96,10 +96,8 @@ fn attribution_points_at_the_services_the_paper_names() {
 fn duration_models_are_ordered() {
     let (_env, dataset) =
         build_and_crawl(PopulationProfile::archive(), 200, 9, BrowserConfig::http_archive_crawler());
-    let endless = DatasetSummary::from_classifications(
-        "endless",
-        &classify_dataset(&dataset, DurationModel::Endless),
-    );
+    let endless =
+        DatasetSummary::from_classifications("endless", &classify_dataset(&dataset, DurationModel::Endless));
     let immediate = DatasetSummary::from_classifications(
         "immediate",
         &classify_dataset(&dataset, DurationModel::Immediate),
@@ -148,8 +146,7 @@ fn probe_and_crawl_agree_on_the_analytics_pair() {
     let report = Crawler::new("alexa", config, 13).with_threads(2).crawl(&env);
     let dataset = dataset_from_crawl(&report);
     let classifications = classify_dataset(&dataset, DurationModel::Recorded);
-    let origins =
-        attribution::top_origins_for_cause(&dataset, &classifications, Cause::Ip, 30);
+    let origins = attribution::top_origins_for_cause(&dataset, &classifications, Cause::Ip, 30);
     assert!(
         origins.iter().any(|o| o.origin.as_str() == "www.google-analytics.com"),
         "analytics should appear among the IP-cause origins"

@@ -31,10 +31,8 @@ fn clean_har_and_netlog_classify_identically_under_endless() {
         "netlog",
         &classify_dataset(&netlog_dataset, DurationModel::Endless),
     );
-    let har_summary = DatasetSummary::from_classifications(
-        "har",
-        &classify_dataset(&har_dataset, DurationModel::Endless),
-    );
+    let har_summary =
+        DatasetSummary::from_classifications("har", &classify_dataset(&har_dataset, DurationModel::Endless));
 
     assert_eq!(netlog_summary.total, har_summary.total);
     assert_eq!(netlog_summary.redundant, har_summary.redundant);
@@ -82,10 +80,8 @@ fn defect_injection_only_removes_information() {
 #[test]
 fn har_json_roundtrip_preserves_the_classification() {
     let env = environment(40, 23);
-    let mut corpus = ArchivePipeline::new(11)
-        .with_inconsistencies(InconsistencyConfig::none())
-        .with_threads(2)
-        .run(&env);
+    let mut corpus =
+        ArchivePipeline::new(11).with_inconsistencies(InconsistencyConfig::none()).with_threads(2).run(&env);
     corpus.filter();
 
     // Serialise every document to JSON and parse it back, as an external
@@ -101,13 +97,9 @@ fn har_json_roundtrip_preserves_the_classification() {
     let mut roundtripped_corpus = corpus.clone();
     roundtripped_corpus.documents = reparsed;
     let roundtripped = dataset_from_har(&roundtripped_corpus, "har");
-    let summary_a = DatasetSummary::from_classifications(
-        "har",
-        &classify_dataset(&original, DurationModel::Endless),
-    );
-    let summary_b = DatasetSummary::from_classifications(
-        "har",
-        &classify_dataset(&roundtripped, DurationModel::Endless),
-    );
+    let summary_a =
+        DatasetSummary::from_classifications("har", &classify_dataset(&original, DurationModel::Endless));
+    let summary_b =
+        DatasetSummary::from_classifications("har", &classify_dataset(&roundtripped, DurationModel::Endless));
     assert_eq!(summary_a, summary_b);
 }

@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! classifier invariants.
 
-use connreuse::core::{classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation};
+use connreuse::core::{
+    classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation,
+};
 use connreuse::dns::{LoadBalancePolicy, QueryContext, ResolverId, Vantage};
 use connreuse::h2::hpack::HpackContext;
 use connreuse::tls::{Certificate, CertificateId, Issuer, SanEntry};
@@ -66,7 +68,8 @@ prop_compose! {
 
 fn arbitrary_site(max_connections: usize) -> impl Strategy<Value = SiteObservation> {
     prop::collection::vec(any::<u8>(), 1..=max_connections).prop_flat_map(|seeds| {
-        let strategies: Vec<_> = seeds.iter().enumerate().map(|(i, _)| arbitrary_connection(i as u64)).collect();
+        let strategies: Vec<_> =
+            seeds.iter().enumerate().map(|(i, _)| arbitrary_connection(i as u64)).collect();
         strategies.prop_map(|connections| SiteObservation {
             site: DomainName::literal("site.example"),
             connections,

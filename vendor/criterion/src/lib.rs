@@ -1,0 +1,135 @@
+//! Minimal offline stand-in for `criterion`: benchmark groups, a `Bencher`
+//! with `iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Two modes:
+//! - normal (`cargo bench`): every benchmark is warmed up and timed over
+//!   `sample_size` iterations; mean wall-clock time is printed per benchmark.
+//! - test (`cargo bench -- --test`): every benchmark body runs exactly once
+//!   so CI can smoke-check benches without paying for measurement.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build a driver configured from the process arguments (`--test`
+    /// switches to one-shot smoke mode; every other flag is ignored).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self.test_mode, &id, 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion.test_mode, &id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { test_mode, sample_size, mean: Duration::ZERO, ran: false };
+    f(&mut bencher);
+    if !bencher.ran {
+        println!("{id:<60} (no iter call)");
+    } else if test_mode {
+        println!("{id:<60} ok (test mode)");
+    } else {
+        println!("{id:<60} {:>12.3?}/iter", bencher.mean);
+    }
+}
+
+/// Runs the measured routine; handed to every benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    mean: Duration,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Measure `routine`. In test mode it runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.ran = true;
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Short warmup so first-touch effects don't dominate.
+        for _ in 0..3.min(self.sample_size) {
+            black_box(routine());
+        }
+        let iterations = self.sample_size.max(1) as u32;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iterations;
+    }
+}
+
+/// Opaque value barrier (re-exported for compatibility).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundle benchmark functions into a single group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

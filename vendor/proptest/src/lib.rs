@@ -1,0 +1,485 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! pattern-string strategies, `Just`, `prop_oneof!`, `proptest::option::of`,
+//! `prop::collection::vec`, tuple and `Vec<S>` composition, and the
+//! `proptest!` / `prop_compose!` / `prop_assert!` macros.
+//!
+//! Differences from the real crate: generation is driven by a deterministic
+//! SplitMix64 [`TestRng`] seeded from the test name, there is **no
+//! shrinking**, and each test runs a fixed number of cases
+//! ([`DEFAULT_CASES`]).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of generated cases per `proptest!` test.
+pub const DEFAULT_CASES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name (stable across runs).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: hash ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    fn below_u128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below(0)");
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a second strategy from each generated value.
+    fn prop_flat_map<B: Strategy, F: Fn(Self::Value) -> B>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, B: Strategy, F: Fn(S::Value) -> B> Strategy for FlatMap<S, F> {
+    type Value = B::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> B::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the given alternatives; must be non-empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.arms.len() as u64) as usize;
+        self.arms[index].generate(rng)
+    }
+}
+
+/// Box a strategy for use in [`Union`] (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as i128 - self.start as i128;
+                (self.start as i128 + rng.below_u128(span as u128) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range strategy");
+                let span = high as i128 - low as i128 + 1;
+                (low as i128 + rng.below_u128(span as u128) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Pattern-string strategies: a simplified regex supporting literal
+/// characters, `[a-z0-9/]`-style classes and `{m}` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<PatternAtom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                i += 1;
+                let mut choices = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (low, high) = (chars[i], chars[i + 2]);
+                        for code in low as u32..=high as u32 {
+                            if let Some(c) = char::from_u32(code) {
+                                choices.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                atoms.push(PatternAtom { choices, min: 1, max: 1 });
+            }
+            '{' => {
+                i += 1;
+                let mut min_text = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    min_text.push(chars[i]);
+                    i += 1;
+                }
+                let min: usize = min_text.parse().unwrap_or(1);
+                let max = if i < chars.len() && chars[i] == ',' {
+                    i += 1;
+                    let mut max_text = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        max_text.push(chars[i]);
+                        i += 1;
+                    }
+                    max_text.parse().unwrap_or(min)
+                } else {
+                    min
+                };
+                i += 1; // closing '}'
+                let atom = atoms.last_mut().expect("quantifier must follow an atom");
+                atom.min = min;
+                atom.max = max;
+            }
+            '\\' => {
+                i += 1;
+                if i < chars.len() {
+                    atoms.push(PatternAtom { choices: vec![chars[i]], min: 1, max: 1 });
+                    i += 1;
+                }
+            }
+            literal => {
+                atoms.push(PatternAtom { choices: vec![literal], min: 1, max: 1 });
+                i += 1;
+            }
+        }
+    }
+    atoms
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let count = if atom.max > atom.min {
+            atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+        } else {
+            atom.min
+        };
+        for _ in 0..count {
+            if atom.choices.is_empty() {
+                continue;
+            }
+            let index = rng.below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[index]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Composition: tuples and Vec<S>
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $index:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|strategy| strategy.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy type `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = RangeInclusive<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$ty>::MIN..=<$ty>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// `Vec` strategy with element strategy `element` and a length drawn from
+    /// the `size` strategy (a range works).
+    pub fn vec<S: Strategy, Z: Strategy<Value = usize>>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: Strategy<Value = usize>> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// A strategy yielding `None` about a quarter of the time, otherwise
+    /// `Some` of the inner strategy's value.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wrap `inner` in an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` tests usually need.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, boxed, prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest, Arbitrary, Just,
+        Strategy, TestRng, Union,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running [`DEFAULT_CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($field:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy__ = ($($strategy,)+);
+                let mut rng__ = $crate::TestRng::for_test(stringify!($name));
+                for _ in 0..$crate::DEFAULT_CASES {
+                    let ($($field,)+) = $crate::Strategy::generate(&strategy__, &mut rng__);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Define a function returning a composed strategy:
+/// `fn name(args)(bindings in strategies) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)($($field:ident in $strategy:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strategy,)+), move |($($field,)+)| $body)
+        }
+    };
+}
+
+/// A uniform choice between alternative strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a property test (no shrinking; behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}

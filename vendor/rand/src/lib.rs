@@ -1,0 +1,250 @@
+//! Minimal offline stand-in for `rand` 0.8: the trait surface the
+//! simulation's [`SimRng`](../netsim_types) wrapper needs — [`RngCore`],
+//! [`SeedableRng`], the blanket [`Rng`] extension with `gen` / `gen_range`,
+//! uniform range sampling and slice helpers.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by this stand-in's
+/// deterministic generators, but required by the `RngCore` signature).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience extension over [`RngCore`], blanket-implemented.
+pub trait Rng: RngCore {
+    /// A value sampled from the standard distribution of `T`.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as distributions::Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! Distributions: the standard distribution and uniform range sampling.
+
+    use super::RngCore;
+
+    /// Types sampleable from the "standard" distribution (`rng.gen()`).
+    pub trait Standard: Sized {
+        /// Sample one value.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random mantissa bits, uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u8 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u8
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types uniformly sampleable between two bounds.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Uniform sample from `[low, high)`; panics if empty.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+            /// Uniform sample from `[low, high]`; panics if empty.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($ty:ty),*) => {$(
+                impl SampleUniform for $ty {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        assert!(low < high, "cannot sample from empty range");
+                        let span = high as i128 - low as i128;
+                        let offset = (rng.next_u64() as i128).rem_euclid(span);
+                        (low as i128 + offset) as $ty
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        assert!(low <= high, "cannot sample from empty range");
+                        let span = high as i128 - low as i128 + 1;
+                        let offset = (rng.next_u64() as i128).rem_euclid(span);
+                        (low as i128 + offset) as $ty
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample from empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                low + unit * (high - low)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample from empty range");
+                if low == high {
+                    return low;
+                }
+                // For continuous values the half-open/inclusive distinction
+                // is immaterial.
+                Self::sample_half_open(rng, low, high)
+            }
+        }
+
+        /// Range types usable with `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Sample one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                T::sample_inclusive(rng, low, high)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Random slice operations.
+
+    use super::{Rng, RngCore};
+
+    /// Random element choice and in-place shuffling for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The most common imports.
+
+    pub use super::distributions::uniform::{SampleRange, SampleUniform};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

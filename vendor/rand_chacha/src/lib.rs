@@ -1,0 +1,154 @@
+//! Minimal offline stand-in for `rand_chacha`: a genuine ChaCha12 keystream
+//! generator behind the vendored `rand` traits. Deterministic for a given
+//! seed, `Clone` + `Debug` so wrappers can derive both.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher based RNG with 12 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u8; 64],
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaCha12Rng {
+    fn from_key(key: [u32; 8]) -> Self {
+        ChaCha12Rng { key, counter: 0, buffer: [0; 64], index: 64 }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+
+        let mut working = state;
+        for _ in 0..6 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (word, initial) in working.iter_mut().zip(state.iter()) {
+            *word = word.wrapping_add(*initial);
+        }
+        for (chunk, word) in self.buffer.chunks_exact_mut(4).zip(working.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    fn take_bytes(&mut self, count: usize) -> [u8; 8] {
+        debug_assert!(count <= 8);
+        let mut out = [0u8; 8];
+        for slot in out.iter_mut().take(count) {
+            if self.index >= 64 {
+                self.refill();
+            }
+            *slot = self.buffer[self.index];
+            self.index += 1;
+        }
+        out
+    }
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4)[..4].try_into().unwrap())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8))
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for byte in dest.iter_mut() {
+            if self.index >= 64 {
+                self.refill();
+            }
+            *byte = self.buffer[self.index];
+            self.index += 1;
+        }
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, the same
+        // scheme rand's `seed_from_u64` uses.
+        let mut key = [0u32; 8];
+        let mut sm = state;
+        for pair in key.chunks_exact_mut(2) {
+            let word = splitmix64(&mut sm);
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        ChaCha12Rng::from_key(key)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_matches_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let expected_lo = b.next_u64().to_le_bytes();
+        let expected_hi = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &expected_lo);
+        assert_eq!(&buf[8..], &expected_hi);
+    }
+}

@@ -1,0 +1,422 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small serde surface the reproduction actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits (defined over an owned [`value::Value`]
+//! tree rather than serde's visitor machinery), implementations for the std
+//! types that appear in derived structs, and a re-export of the hand-rolled
+//! derive macros from `serde_derive`.
+//!
+//! `serde_json` (also vendored) renders and parses `value::Value`, so derived
+//! types round-trip through JSON exactly like the real thing for the shapes
+//! this workspace uses (`rename_all`, `rename`, `skip_serializing_if`,
+//! `transparent`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The owned value tree all (de)serialization goes through.
+
+    /// A JSON-like number: unsigned, signed or floating point.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub enum Number {
+        /// A non-negative integer.
+        UInt(u64),
+        /// A negative integer.
+        Int(i64),
+        /// A floating-point number.
+        Float(f64),
+    }
+
+    impl Number {
+        /// The value as `u64`, if representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Number::UInt(u) => Some(u),
+                Number::Int(i) => u64::try_from(i).ok(),
+                Number::Float(_) => None,
+            }
+        }
+
+        /// The value as `i64`, if representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Number::UInt(u) => i64::try_from(u).ok(),
+                Number::Int(i) => Some(i),
+                Number::Float(_) => None,
+            }
+        }
+
+        /// The value as `f64` (always representable, possibly lossily).
+        pub fn as_f64(&self) -> f64 {
+            match *self {
+                Number::UInt(u) => u as f64,
+                Number::Int(i) => i as f64,
+                Number::Float(f) => f,
+            }
+        }
+    }
+
+    /// An owned, order-preserving value tree.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The entries of an object, if this is one.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The elements of an array, if this is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up `key` in an object's entries, yielding `Null` when absent
+    /// (missing optional fields deserialize as `None`).
+    pub fn object_get<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&Value::Null)
+    }
+}
+
+pub mod de {
+    //! Deserialization error type.
+
+    use std::fmt;
+
+    /// An error produced while deserializing a [`crate::value::Value`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom(message: impl fmt::Display) -> Self {
+            Error { message: message.to_string() }
+        }
+
+        /// Wrap the error with the field it occurred in.
+        pub fn in_field(self, field: &str) -> Self {
+            Error { message: format!("{}: {}", field, self.message) }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use value::{Number, Value};
+
+/// Serialize `self` into the owned [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialize `Self` from an owned [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$ty>::try_from(u).ok())
+                        .ok_or_else(|| de::Error::custom(concat!("number out of range for ", stringify!($ty)))),
+                    _ => Err(de::Error::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                if *self < 0 {
+                    Value::Number(Number::Int(*self as i64))
+                } else {
+                    Value::Number(Number::UInt(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$ty>::try_from(i).ok())
+                        .ok_or_else(|| de::Error::custom(concat!("number out of range for ", stringify!($ty)))),
+                    _ => Err(de::Error::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $ty),
+                    _ => Err(de::Error::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(de::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(de::Error::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(de::Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$index.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+                let items = value.as_array().ok_or_else(|| de::Error::custom("expected tuple array"))?;
+                Ok(($($name::deserialize_value(
+                    items.get($index).ok_or_else(|| de::Error::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()])).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        let items = value.as_array().ok_or_else(|| de::Error::custom("expected map array"))?;
+        items
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_array().ok_or_else(|| de::Error::custom("expected map entry pair"))?;
+                match kv {
+                    [k, v] => Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)),
+                    _ => Err(de::Error::custom("expected two-element map entry")),
+                }
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()])).collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        let items = value.as_array().ok_or_else(|| de::Error::custom("expected map array"))?;
+        items
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_array().ok_or_else(|| de::Error::custom("expected map entry pair"))?;
+                match kv {
+                    [k, v] => Ok((K::deserialize_value(k)?, V::deserialize_value(v)?)),
+                    _ => Err(de::Error::custom("expected two-element map entry")),
+                }
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        let items = value.as_array().ok_or_else(|| de::Error::custom("expected array"))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}

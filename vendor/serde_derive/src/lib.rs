@@ -1,0 +1,584 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-model traits in the vendored `serde` crate, without `syn`/`quote`:
+//! the input item is parsed directly from the `proc_macro` token stream and
+//! the generated impls are emitted as source strings.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit structs,
+//! and enums with unit / newtype / tuple / struct variants. Supported
+//! attributes: container `rename_all` (`lowercase`, `camelCase`,
+//! `kebab-case`, `snake_case`) and `transparent`; field `rename` and
+//! `skip_serializing_if`. That is the full set the workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct Attrs {
+    rename_all: Option<String>,
+    transparent: bool,
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    attrs: Attrs,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: Attrs,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic types: `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    Container { name, attrs, shape }
+}
+
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+            break;
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(list)) = inner.get(1) else {
+            continue;
+        };
+        parse_serde_attr_list(list.stream(), &mut attrs);
+    }
+    attrs
+}
+
+fn parse_serde_attr_list(stream: TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(lit)) = tokens.get(i) {
+                value = Some(unquote(&lit.to_string()));
+                i += 1;
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            ("transparent", None) => attrs.transparent = true,
+            (other, _) => panic!("unsupported serde attribute `{other}` in vendored serde_derive"),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        // Skip the `:` and the type (tracking `<...>` nesting, since angle
+        // brackets are not token groups) up to the next top-level comma.
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    for (index, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 && index + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, attrs, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+fn rename_field(style: Option<&str>, name: &str) -> String {
+    match style {
+        Some("camelCase") => {
+            let mut out = String::new();
+            for (index, part) in name.split('_').enumerate() {
+                if index == 0 {
+                    out.push_str(part);
+                } else {
+                    let mut chars = part.chars();
+                    if let Some(first) = chars.next() {
+                        out.extend(first.to_uppercase());
+                        out.push_str(chars.as_str());
+                    }
+                }
+            }
+            out
+        }
+        Some("kebab-case") => name.replace('_', "-"),
+        Some("snake_case") => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("SCREAMING_SNAKE_CASE") => name.to_uppercase(),
+        Some(other) => panic!("unsupported rename_all style `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn rename_variant(style: Option<&str>, name: &str) -> String {
+    match style {
+        Some("lowercase") => name.to_lowercase(),
+        Some("camelCase") => {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        }
+        Some("kebab-case") => camel_to_separated(name, '-'),
+        Some("snake_case") => camel_to_separated(name, '_'),
+        Some("SCREAMING_SNAKE_CASE") => camel_to_separated(name, '_').to_uppercase(),
+        Some(other) => panic!("unsupported rename_all style `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn camel_to_separated(name: &str, separator: char) -> String {
+    let mut out = String::new();
+    for (index, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if index > 0 {
+                out.push(separator);
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn field_key(container: &Container, field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| rename_field(container.attrs.rename_all.as_deref(), &field.name))
+}
+
+fn variant_key(container: &Container, variant: &Variant) -> String {
+    variant
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| rename_variant(container.attrs.rename_all.as_deref(), &variant.name))
+}
+
+fn variant_field_key(variant: &Variant, field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| rename_field(variant.attrs.rename_all.as_deref(), &field.name))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(container: &Container) -> String {
+    let name = &container.name;
+    let body = match &container.shape {
+        Shape::NamedStruct(fields) => {
+            if container.attrs.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::serialize_value(&self.{})", fields[0].name)
+            } else {
+                let mut out =
+                    String::from("let mut fields__: Vec<(String, ::serde::value::Value)> = Vec::new();\n");
+                for field in fields {
+                    let key = field_key(container, field);
+                    let push = format!(
+                        "fields__.push((\"{key}\".to_string(), ::serde::Serialize::serialize_value(&self.{})));",
+                        field.name
+                    );
+                    match &field.attrs.skip_serializing_if {
+                        Some(predicate) => {
+                            out.push_str(&format!("if !{predicate}(&self.{}) {{ {push} }}\n", field.name));
+                        }
+                        None => {
+                            out.push_str(&push);
+                            out.push('\n');
+                        }
+                    }
+                }
+                out.push_str("::serde::value::Value::Object(fields__)");
+                out
+            }
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize_value(&self.{i})")).collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let key = variant_key(container, variant);
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::value::Value::String(\"{key}\".to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0__) => ::serde::value::Value::Object(vec![(\"{key}\".to_string(), ::serde::Serialize::serialize_value(f0__))]),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}__")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::value::Value::Object(vec![(\"{key}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{}\".to_string(), ::serde::Serialize::serialize_value({}))",
+                                    variant_field_key(variant, f),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(vec![(\"{key}\".to_string(), ::serde::value::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(container: &Container) -> String {
+    let name = &container.name;
+    let body = match &container.shape {
+        Shape::NamedStruct(fields) => {
+            if container.attrs.transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::deserialize_value(value__)? }})",
+                    fields[0].name
+                )
+            } else {
+                let mut out = format!(
+                    "let obj__ = value__.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for `{name}`\"))?;\n\
+                     Ok({name} {{\n"
+                );
+                for field in fields {
+                    let key = field_key(container, field);
+                    out.push_str(&format!(
+                        "{}: ::serde::Deserialize::deserialize_value(::serde::value::object_get(obj__, \"{key}\")).map_err(|e__| e__.in_field(\"{name}.{}\"))?,\n",
+                        field.name, field.name
+                    ));
+                }
+                out.push_str("})");
+                out
+            }
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(value__)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut out = format!(
+                "let items__ = value__.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array for `{name}`\"))?;\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(items__.get({i}).ok_or_else(|| ::serde::de::Error::custom(\"missing tuple field {i} for `{name}`\"))?)?,\n"
+                ));
+            }
+            out.push_str("))");
+            out
+        }
+        Shape::UnitStruct => format!("let _ = value__; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.shape, VariantShape::Unit)).collect();
+            let data: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.shape, VariantShape::Unit)).collect();
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut unit_arms = String::new();
+                for variant in &unit {
+                    unit_arms.push_str(&format!(
+                        "\"{}\" => Ok({name}::{}),\n",
+                        variant_key(container, variant),
+                        variant.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::value::Value::String(s__) => match s__.as_str() {{\n{unit_arms}other__ => Err(::serde::de::Error::custom(format!(\"unknown variant `{{other__}}` for `{name}`\"))),\n}},\n"
+                ));
+            }
+            if !data.is_empty() {
+                let mut data_arms = String::new();
+                for variant in &data {
+                    let vname = &variant.name;
+                    let key = variant_key(container, variant);
+                    let build = match &variant.shape {
+                        VariantShape::Tuple(1) => {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::deserialize_value(v__)?))")
+                        }
+                        VariantShape::Tuple(n) => {
+                            let mut build = format!(
+                                "let items__ = v__.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array for `{name}::{vname}`\"))?;\n\
+                                 Ok({name}::{vname}(\n"
+                            );
+                            for i in 0..*n {
+                                build.push_str(&format!(
+                                    "::serde::Deserialize::deserialize_value(items__.get({i}).ok_or_else(|| ::serde::de::Error::custom(\"missing tuple field {i} for `{name}::{vname}`\"))?)?,\n"
+                                ));
+                            }
+                            build.push_str("))");
+                            build
+                        }
+                        VariantShape::Named(fields) => {
+                            let mut build = format!(
+                                "let obj__ = v__.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for `{name}::{vname}`\"))?;\n\
+                                 Ok({name}::{vname} {{\n"
+                            );
+                            for field in fields {
+                                build.push_str(&format!(
+                                    "{}: ::serde::Deserialize::deserialize_value(::serde::value::object_get(obj__, \"{}\")).map_err(|e__| e__.in_field(\"{name}::{vname}.{}\"))?,\n",
+                                    field.name,
+                                    variant_field_key(variant, field),
+                                    field.name
+                                ));
+                            }
+                            build.push_str("})");
+                            build
+                        }
+                        VariantShape::Unit => unreachable!("unit variants handled above"),
+                    };
+                    data_arms.push_str(&format!("\"{key}\" => {{\n{build}\n}}\n"));
+                }
+                arms.push_str(&format!(
+                    "::serde::value::Value::Object(entries__) if entries__.len() == 1 => {{\n\
+                         let (k__, v__) = &entries__[0];\n\
+                         match k__.as_str() {{\n{data_arms}other__ => Err(::serde::de::Error::custom(format!(\"unknown variant `{{other__}}` for `{name}`\"))),\n}}\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "match value__ {{\n{arms}_ => Err(::serde::de::Error::custom(\"unexpected value for enum `{name}`\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value__: &::serde::value::Value) -> Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
