@@ -3,6 +3,7 @@
 //! generation and single page loads.
 
 use connreuse_bench::{bench_environment, BENCH_SEED};
+use connreuse_experiments::sweep::{run_sweep, SweepConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim_browser::{Browser, BrowserConfig};
 use netsim_dns::{RecursiveResolver, ResolverConfig, ResolverId, Vantage};
@@ -10,7 +11,7 @@ use netsim_h2::hpack::HpackContext;
 use netsim_h2::reuse::{evaluate, ReusePolicy};
 use netsim_h2::{Connection, Frame, OriginEntry, Settings, StreamId};
 use netsim_tls::{CertificateStore, IssuancePolicy, Issuer};
-use netsim_types::{ConnectionId, DomainName, Instant, IpAddr, Origin, SimClock, SimRng};
+use netsim_types::{ConnectionId, DomainName, Instant, IpAddr, MitigationSet, Origin, SimClock, SimRng};
 use netsim_web::{PopulationBuilder, PopulationProfile};
 use std::hint::black_box;
 
@@ -127,11 +128,45 @@ fn bench_population_and_page_load(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mitigation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation_sweep");
+    group.sample_size(10);
+    // The reuse predicate under the relaxed mitigation policy (ORIGIN frames
+    // honoured without RFC 8336 strictness + pooled credentials).
+    let mut store = CertificateStore::new();
+    let domains: Vec<DomainName> =
+        (0..16).map(|i| DomainName::literal(&format!("shard-{i}.example.com"))).collect();
+    let ids =
+        store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
+    let mut connection = Connection::establish(
+        ConnectionId(1),
+        Origin::https(domains[0].clone()),
+        IpAddr::new(10, 0, 0, 1),
+        store.get(ids[0]).unwrap().clone(),
+        true,
+        Instant::EPOCH,
+        Settings::default(),
+    );
+    connection.receive_origin_set(domains.iter().cloned());
+    let target = Origin::https(domains[15].clone());
+    let relaxed = ReusePolicy::with_mitigations(MitigationSet::all());
+    group.bench_function("evaluate_mitigated_policy", |b| {
+        b.iter(|| black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 9), false, &relaxed)))
+    });
+    // One full 16-cell sweep on a small population: the end-to-end cost of
+    // the what-if matrix (population builds, crawls, classification, report).
+    let config = SweepConfig { sites: 16, seed: BENCH_SEED, threads: 4 };
+    group
+        .bench_function("run_sweep_16_sites_16_cells", |b| b.iter(|| black_box(run_sweep(&config).render())));
+    group.finish();
+}
+
 criterion_group!(
     substrates,
     bench_dns_resolution,
     bench_reuse_predicate,
     bench_h2_frames_and_hpack,
-    bench_population_and_page_load
+    bench_population_and_page_load,
+    bench_mitigation_sweep
 );
 criterion_main!(substrates);

@@ -9,7 +9,7 @@
 use netsim_dns::{ResolverId, Vantage};
 use netsim_h2::reuse::ReusePolicy;
 use netsim_tls::HandshakeConfig;
-use netsim_types::Duration;
+use netsim_types::{Duration, Mitigation, MitigationSet};
 use serde::{Deserialize, Serialize};
 
 /// How connection end times are produced by the simulation.
@@ -124,6 +124,21 @@ impl BrowserConfig {
             ..BrowserConfig::default()
         }
     }
+
+    /// The browser-side deployment of a mitigation combination, measured like
+    /// the paper's Alexa run: the reuse policy honours ORIGIN frames and/or
+    /// drops the credentials partition per
+    /// [`ReusePolicy::with_mitigations`], and servers announce origin sets
+    /// exactly when [`Mitigation::OriginFrames`] is deployed. All other
+    /// knobs stay at the measurement defaults so sweep cells differ only in
+    /// the mitigation under test.
+    pub fn with_mitigations(mitigations: MitigationSet) -> Self {
+        BrowserConfig {
+            reuse_policy: ReusePolicy::with_mitigations(mitigations),
+            servers_announce_origin_sets: mitigations.contains(Mitigation::OriginFrames),
+            ..BrowserConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +157,27 @@ mod tests {
         assert_eq!(archive.duration_model, ConnectionDurationModel::KeepOpen);
         assert_eq!(archive.vantage, Vantage::NorthAmerica);
         assert_ne!(archive.resolver, alexa.resolver);
+    }
+
+    #[test]
+    fn mitigation_presets_flip_the_right_knobs() {
+        let none = BrowserConfig::with_mitigations(MitigationSet::empty());
+        assert!(none.reuse_policy.follow_fetch_credentials);
+        assert!(!none.reuse_policy.honor_origin_frame);
+        assert!(!none.servers_announce_origin_sets);
+
+        let origin = BrowserConfig::with_mitigations(MitigationSet::single(Mitigation::OriginFrames));
+        assert!(origin.reuse_policy.honor_origin_frame);
+        assert!(!origin.reuse_policy.strict_origin_set);
+        assert!(origin.servers_announce_origin_sets);
+
+        let pooled = BrowserConfig::with_mitigations(MitigationSet::single(Mitigation::CredentialPooling));
+        assert!(!pooled.reuse_policy.follow_fetch_credentials);
+        assert!(!pooled.servers_announce_origin_sets);
+
+        // Environment-side mitigations leave the browser untouched.
+        let dns = BrowserConfig::with_mitigations(MitigationSet::single(Mitigation::SynchronizedDns));
+        assert_eq!(dns.reuse_policy, none.reuse_policy);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::config::{BrowserConfig, ConnectionDurationModel};
 use crate::netlog::{NetLog, NetLogEventKind};
 use crate::visit::{PageVisit, RequestLogEntry};
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
-use netsim_fetch::{includes_credentials, FetchRequest};
+use netsim_fetch::{partition_for, FetchRequest};
 use netsim_h2::reuse::{evaluate, ReuseDecision};
 use netsim_h2::{Connection, Settings};
 use netsim_types::{ConnectionId, Duration, IdAllocator, Instant, Origin, RequestId, SimClock, SimRng};
@@ -143,7 +143,11 @@ impl Browser {
         if planned.anonymous {
             fetch_request = fetch_request.anonymous();
         }
-        let credentialed = includes_credentials(&fetch_request);
+        // The session-pool key ("privacy mode"): which partition the request
+        // lands in. Policies that pool credentials still see the partition
+        // here — they ignore it inside the RFC 7540 check instead
+        // (`ReusePolicy::follow_fetch_credentials`), like the paper's patch.
+        let credentialed = partition_for(&fetch_request).is_credentialed();
 
         // Small per-request pacing so establishment order is well defined.
         clock.advance(Duration::from_millis(2));

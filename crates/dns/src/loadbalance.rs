@@ -118,6 +118,22 @@ impl LoadBalancePolicy {
             }
         }
     }
+
+    /// The synchronized-DNS mitigation applied to this policy: an
+    /// unsynchronized [`LoadBalancePolicy::PerResolverPool`] becomes a
+    /// [`LoadBalancePolicy::SynchronizedPool`] over the same pool (the
+    /// per-domain hash is dropped, so co-hosted domains land on the same
+    /// member). Every other policy is already domain-agnostic and is
+    /// returned unchanged.
+    #[must_use]
+    pub fn synchronized(self) -> LoadBalancePolicy {
+        match self {
+            LoadBalancePolicy::PerResolverPool { pool, answer_size, epoch } => {
+                LoadBalancePolicy::SynchronizedPool { pool, answer_size, epoch }
+            }
+            other => other,
+        }
+    }
 }
 
 /// The rotation / epoch bucket for a query time.
@@ -173,6 +189,20 @@ mod tests {
         let p = LoadBalancePolicy::single(IpAddr::new(192, 0, 2, 1));
         assert_eq!(p.select(&d("x.example"), &ctx(0, 0)), vec![IpAddr::new(192, 0, 2, 1)]);
         assert_eq!(p.select(&d("y.example"), &ctx(5, 999_999)), vec![IpAddr::new(192, 0, 2, 1)]);
+    }
+
+    #[test]
+    fn synchronizing_drops_the_per_domain_hash_only() {
+        let epoch = Duration::from_mins(10);
+        let unsync = LoadBalancePolicy::PerResolverPool { pool: pool(8), answer_size: 1, epoch };
+        let synced = unsync.clone().synchronized();
+        assert_eq!(synced, LoadBalancePolicy::SynchronizedPool { pool: pool(8), answer_size: 1, epoch });
+        // Synchronized answers agree across domains for the same context.
+        let c = ctx(3, 1_000);
+        assert_eq!(synced.select(&d("a.example"), &c), synced.select(&d("b.example"), &c));
+        // Non-pool policies are unchanged.
+        let stat = LoadBalancePolicy::single(IpAddr::new(192, 0, 2, 7));
+        assert_eq!(stat.clone().synchronized(), stat);
     }
 
     #[test]

@@ -22,14 +22,19 @@
 //! | `table7`–`table10` | the dataset-overlap re-analysis |
 //! | `table11` / `figure3` | the DNS probe panel and overlap time series |
 //! | `filters`  | the §4.3 HAR filter statistics |
+//! | `sweep`    | the 2^4 mitigation what-if matrix (§7 directions) |
 //!
-//! Run everything with `cargo run -p connreuse-experiments --bin repro --release -- all`.
+//! Run everything with `cargo run -p connreuse-experiments --bin repro --release -- all`,
+//! or just the mitigation matrix with
+//! `cargo run -p connreuse-experiments --bin connreuse-sweep --release`.
 
 pub mod paper;
 pub mod render;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use sweep::{run_sweep, SweepCell, SweepConfig, SweepReport};

@@ -19,10 +19,11 @@ use serde::{Deserialize, Serialize};
 /// All experiment names understood by [`run_experiment`], in paper order.
 /// `whatif` is not a published table; it quantifies the mitigations the
 /// paper's conclusion proposes (ORIGIN-frame adoption, synchronized DNS,
-/// dropping the Fetch credentials flag).
+/// dropping the Fetch credentials flag). `sweep` generalizes it to the full
+/// 2^4 mitigation matrix (see [`crate::sweep`]).
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif",
+    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep",
 ];
 
 /// The rendered result of one experiment.
@@ -54,6 +55,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "figure3" => figure3(scenario),
         "filters" => filters(scenario),
         "whatif" => whatif(scenario),
+        "sweep" => sweep(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
     Ok(ExperimentOutput { name: name.to_string(), text })
@@ -598,7 +600,9 @@ fn whatif(scenario: &Scenario) -> String {
     let without_fetch = summary(&scenario.alexa_without_fetch, DurationModel::Recorded, "w/o Fetch");
 
     let crawl = |env: &netsim_web::WebEnvironment, label: &str, browser: BrowserConfig| {
-        let report = Crawler::new(label, browser, config.seed + 10).with_threads(config.threads).crawl(env);
+        let report = Crawler::new(label, browser, config.seed + crate::scenario::ALEXA_CRAWL_SEED_OFFSET)
+            .with_threads(config.threads)
+            .crawl(env);
         summary(&dataset_from_crawl(&report), DurationModel::Recorded, label)
     };
 
@@ -607,10 +611,13 @@ fn whatif(scenario: &Scenario) -> String {
 
     // Providers synchronize their DNS (same population size and seed, fixed
     // catalog), measured with stock Chromium.
-    let synchronized_env =
-        PopulationBuilder::new(PopulationProfile::alexa(), config.alexa_sites, config.seed + 1)
-            .with_catalog(ServiceCatalog::standard().with_synchronized_dns())
-            .build();
+    let synchronized_env = PopulationBuilder::new(
+        PopulationProfile::alexa(),
+        config.alexa_sites,
+        config.seed + crate::scenario::ALEXA_POPULATION_SEED_OFFSET,
+    )
+    .with_catalog(ServiceCatalog::standard().with_synchronized_dns())
+    .build();
     let synchronized = crawl(&synchronized_env, "synchronized DNS", BrowserConfig::alexa_measurement());
 
     // Everything at once.
@@ -644,6 +651,13 @@ fn whatif(scenario: &Scenario) -> String {
         format_percent(1.0 - synchronized.total.connections as f64 / baseline_connections as f64),
         format_percent(1.0 - all_mitigations.total.connections as f64 / baseline_connections as f64),
     )
+}
+
+/// The 2^4 mitigation what-if matrix (see [`crate::sweep`] for the engine).
+/// Sized like the scenario's Alexa measurement, so the sweep's baseline cell
+/// reproduces the `Alexa` column of Table 1.
+fn sweep(scenario: &Scenario) -> String {
+    crate::sweep::run_sweep(&crate::sweep::SweepConfig::from_scenario(&scenario.config)).render()
 }
 
 #[cfg(test)]

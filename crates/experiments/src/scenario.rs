@@ -7,6 +7,15 @@ use netsim_har::{ArchivePipeline, FilterStatistics};
 use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};
 use serde::{Deserialize, Serialize};
 
+/// Seed offset of the Alexa-shaped population relative to the root seed.
+/// Shared with the mitigation sweep so its baseline cell reproduces the
+/// scenario's own Alexa measurement.
+pub const ALEXA_POPULATION_SEED_OFFSET: u64 = 1;
+
+/// Seed offset of the Alexa crawls (stock and patched) relative to the root
+/// seed. Shared with the mitigation sweep and the `whatif` experiment.
+pub const ALEXA_CRAWL_SEED_OFFSET: u64 = 10;
+
 /// Sizing and seeding of the simulated measurement campaign.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
@@ -79,8 +88,12 @@ impl Scenario {
     pub fn build(config: ScenarioConfig) -> Scenario {
         let archive_env =
             PopulationBuilder::new(PopulationProfile::archive(), config.archive_sites, config.seed).build();
-        let alexa_env =
-            PopulationBuilder::new(PopulationProfile::alexa(), config.alexa_sites, config.seed + 1).build();
+        let alexa_env = PopulationBuilder::new(
+            PopulationProfile::alexa(),
+            config.alexa_sites,
+            config.seed + ALEXA_POPULATION_SEED_OFFSET,
+        )
+        .build();
         let overlap_env =
             PopulationBuilder::new(PopulationProfile::alexa(), config.overlap_sites, config.seed + 2).build();
 
@@ -88,15 +101,19 @@ impl Scenario {
         let har_filter_statistics = har_corpus.filter();
         let har = dataset_from_har(&har_corpus, "HAR");
 
-        let alexa_report = Crawler::new("Alexa", BrowserConfig::alexa_measurement(), config.seed + 10)
-            .with_threads(config.threads)
-            .crawl(&alexa_env);
-        let alexa = dataset_from_crawl(&alexa_report);
-
-        let patched_report =
-            Crawler::new("Alexa w/o Fetch", BrowserConfig::alexa_without_fetch(), config.seed + 10)
+        let alexa_report =
+            Crawler::new("Alexa", BrowserConfig::alexa_measurement(), config.seed + ALEXA_CRAWL_SEED_OFFSET)
                 .with_threads(config.threads)
                 .crawl(&alexa_env);
+        let alexa = dataset_from_crawl(&alexa_report);
+
+        let patched_report = Crawler::new(
+            "Alexa w/o Fetch",
+            BrowserConfig::alexa_without_fetch(),
+            config.seed + ALEXA_CRAWL_SEED_OFFSET,
+        )
+        .with_threads(config.threads)
+        .crawl(&alexa_env);
         let alexa_without_fetch = dataset_from_crawl(&patched_report);
 
         let mut overlap_har_corpus =

@@ -39,7 +39,18 @@ pub fn includes_credentials(request: &FetchRequest) -> bool {
     }
 }
 
-/// The pool partition a request lands in.
+/// The pool partition a request lands in — the key the browser loader uses
+/// for its HTTP/2 session pool.
+///
+/// The [`Mitigation::CredentialPooling`] deployment does *not* change this
+/// key: requests still land in their Fetch-§4.6 partition (credentials are
+/// still sent or withheld accordingly), and the collapse happens inside the
+/// RFC 7540 reuse check instead (`ReusePolicy::follow_fetch_credentials`,
+/// set by `ReusePolicy::with_mitigations`) — exactly like the paper's
+/// patched Chromium, which ignores privacy mode when matching sessions
+/// rather than mislabelling them.
+///
+/// [`Mitigation::CredentialPooling`]: netsim_types::Mitigation::CredentialPooling
 pub fn partition_for(request: &FetchRequest) -> CredentialsPartition {
     if includes_credentials(request) {
         CredentialsPartition::Credentialed

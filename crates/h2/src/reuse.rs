@@ -18,7 +18,7 @@
 //! root causes, exactly as described in §4.1 of the paper.
 
 use crate::connection::{Connection, ConnectionState};
-use netsim_types::{DomainName, IpAddr, Origin};
+use netsim_types::{DomainName, IpAddr, Mitigation, MitigationSet, Origin};
 use serde::{Deserialize, Serialize};
 
 /// A single reason why an existing connection cannot serve a new request.
@@ -85,6 +85,14 @@ pub struct ReusePolicy {
     pub follow_fetch_credentials: bool,
     /// Honour RFC 8336 ORIGIN frames (Chromium does not).
     pub honor_origin_frame: bool,
+    /// RFC 8336 §2.4 strictness when `honor_origin_frame` is set: if `true`,
+    /// a host *absent* from an announced origin set refuses coalescing
+    /// outright ([`ReuseRefusal::NotInOriginSet`]); if `false`, absence
+    /// merely withholds the IP-check substitution and the normal RFC 7540
+    /// rules apply. The relaxed mode is what the mitigation sweep uses — it
+    /// makes enabling ORIGIN frames a pure relaxation of the predicate
+    /// (reuse decisions stay monotone under mitigation).
+    pub strict_origin_set: bool,
     /// Require the destination IP to match (the RFC rule). Only disabled in
     /// what-if ablations together with `honor_origin_frame`.
     pub require_ip_match: bool,
@@ -92,7 +100,12 @@ pub struct ReusePolicy {
 
 impl Default for ReusePolicy {
     fn default() -> Self {
-        ReusePolicy { follow_fetch_credentials: true, honor_origin_frame: false, require_ip_match: true }
+        ReusePolicy {
+            follow_fetch_credentials: true,
+            honor_origin_frame: false,
+            strict_origin_set: true,
+            require_ip_match: true,
+        }
     }
 }
 
@@ -108,9 +121,30 @@ impl ReusePolicy {
         ReusePolicy { follow_fetch_credentials: false, ..ReusePolicy::default() }
     }
 
-    /// A hypothetical client that fully implements RFC 8336.
+    /// A hypothetical client that fully implements RFC 8336, including the
+    /// strict must-not-coalesce rule for hosts outside an origin set.
     pub fn with_origin_frame() -> Self {
         ReusePolicy { honor_origin_frame: true, ..ReusePolicy::default() }
+    }
+
+    /// The policy a client runs when the given mitigations are deployed:
+    /// [`Mitigation::OriginFrames`] honours origin sets in relaxed mode (a
+    /// pure relaxation of the predicate) and [`Mitigation::CredentialPooling`]
+    /// drops the Fetch credentials partition. The environment-side
+    /// mitigations (DNS synchronization, certificate coalescing) do not
+    /// change the client policy — they change what the client observes.
+    ///
+    /// Enabling any mitigation only ever *removes* refusal reasons: for all
+    /// sets `S ⊆ T`, `refusals(with_mitigations(T)) ⊆
+    /// refusals(with_mitigations(S))` on every connection/request pair (the
+    /// monotonicity property tested in `tests/properties.rs`).
+    pub fn with_mitigations(mitigations: MitigationSet) -> Self {
+        ReusePolicy {
+            follow_fetch_credentials: !mitigations.contains(Mitigation::CredentialPooling),
+            honor_origin_frame: mitigations.contains(Mitigation::OriginFrames),
+            strict_origin_set: false,
+            require_ip_match: true,
+        }
     }
 }
 
@@ -145,18 +179,20 @@ pub fn evaluate(
     }
 
     let origin_set_match = origin_set_contains(connection, &target.host);
-    if policy.honor_origin_frame {
-        if let Some(contains) = origin_set_match {
-            if !contains {
-                refusals.push(ReuseRefusal::NotInOriginSet);
-            }
-            // Membership substitutes for the IP check; absence already
-            // refused above, so the IP rule is skipped either way.
-        } else if policy.require_ip_match && connection.remote_ip != target_ip {
-            refusals.push(ReuseRefusal::IpMismatch);
+    match origin_set_match {
+        // Origin-set membership substitutes for the IP check (RFC 8336).
+        Some(true) if policy.honor_origin_frame => {}
+        // Absent from an announced set: strict clients refuse outright (and
+        // skip the IP rule, which membership would have replaced); relaxed
+        // clients simply fall back to the plain RFC 7540 IP check.
+        Some(false) if policy.honor_origin_frame && policy.strict_origin_set => {
+            refusals.push(ReuseRefusal::NotInOriginSet);
         }
-    } else if policy.require_ip_match && connection.remote_ip != target_ip {
-        refusals.push(ReuseRefusal::IpMismatch);
+        _ => {
+            if policy.require_ip_match && connection.remote_ip != target_ip {
+                refusals.push(ReuseRefusal::IpMismatch);
+            }
+        }
     }
 
     if policy.follow_fetch_credentials && connection.credentialed != request_credentialed {
@@ -303,6 +339,53 @@ mod tests {
             &ReusePolicy::with_origin_frame(),
         );
         assert!(decision.refused_because(ReuseRefusal::NotInOriginSet));
+    }
+
+    #[test]
+    fn mitigation_policy_with_empty_set_is_chromium() {
+        assert_eq!(
+            ReusePolicy::with_mitigations(MitigationSet::empty()),
+            ReusePolicy { strict_origin_set: false, ..ReusePolicy::chromium() }
+        );
+        let c = conn(&["www.example.com"], IP_A, true);
+        // Without an announced origin set the strictness flag is inert.
+        let decision = evaluate(
+            &c,
+            &Origin::https(d("www.example.com")),
+            IP_B,
+            true,
+            &ReusePolicy::with_mitigations(MitigationSet::empty()),
+        );
+        assert_eq!(decision, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
+    }
+
+    #[test]
+    fn relaxed_origin_set_honoring_never_adds_refusals() {
+        let mut c = conn(&["cdn.example.com", "img.example.com", "other.example.com"], IP_A, true);
+        c.receive_origin_set([d("img.example.com")]);
+        let relaxed = ReusePolicy::with_mitigations(MitigationSet::single(Mitigation::OriginFrames));
+        // Membership substitutes for the IP check, as in strict mode.
+        assert!(evaluate(&c, &Origin::https(d("img.example.com")), IP_B, true, &relaxed).is_reusable());
+        // Non-members fall back to the IP rule instead of refusing outright.
+        assert!(evaluate(&c, &Origin::https(d("other.example.com")), IP_A, true, &relaxed).is_reusable());
+        let mismatch = evaluate(&c, &Origin::https(d("other.example.com")), IP_B, true, &relaxed);
+        assert_eq!(mismatch, ReuseDecision::Refused(vec![ReuseRefusal::IpMismatch]));
+        // The strict RFC 8336 client still refuses the same non-member.
+        let strict = evaluate(
+            &c,
+            &Origin::https(d("other.example.com")),
+            IP_A,
+            true,
+            &ReusePolicy::with_origin_frame(),
+        );
+        assert!(strict.refused_because(ReuseRefusal::NotInOriginSet));
+    }
+
+    #[test]
+    fn credential_pooling_mitigation_drops_the_cred_refusal() {
+        let c = conn(&["fonts.gstatic.com", "www.gstatic.com"], IP_A, true);
+        let pooled = ReusePolicy::with_mitigations(MitigationSet::single(Mitigation::CredentialPooling));
+        assert!(evaluate(&c, &Origin::https(d("fonts.gstatic.com")), IP_A, false, &pooled).is_reusable());
     }
 
     #[test]

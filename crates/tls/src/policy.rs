@@ -84,6 +84,20 @@ impl IssuancePolicy {
         }
     }
 
+    /// The certificate-coalescing mitigation applied to this policy: the
+    /// sharding-hostile partitions ([`IssuancePolicy::PerDomain`] and
+    /// [`IssuancePolicy::Grouped`]) collapse into one
+    /// [`IssuancePolicy::SharedSan`] certificate covering every domain, the
+    /// way the paper's §7 suggests operators fix the `CERT` cause. Policies
+    /// that already produce a single certificate are unchanged.
+    #[must_use]
+    pub fn coalesced(&self) -> IssuancePolicy {
+        match self {
+            IssuancePolicy::PerDomain | IssuancePolicy::Grouped { .. } => IssuancePolicy::SharedSan,
+            other => other.clone(),
+        }
+    }
+
     /// `true` if, under this policy, a connection presenting the certificate
     /// for `established` can be reused for `requested` (certificate criterion
     /// only). This is the property the `CERT` classifier ultimately observes.
@@ -155,6 +169,20 @@ mod tests {
         let texts: Vec<String> = groups[0].iter().map(|s| s.as_text()).collect();
         assert!(texts.contains(&"a.b.example.com".to_string()));
         assert!(!texts.contains(&"img.example.com".to_string()));
+    }
+
+    #[test]
+    fn coalescing_collapses_partitioned_policies() {
+        assert_eq!(IssuancePolicy::PerDomain.coalesced(), IssuancePolicy::SharedSan);
+        assert_eq!(IssuancePolicy::Grouped { group_size: 3 }.coalesced(), IssuancePolicy::SharedSan);
+        assert_eq!(IssuancePolicy::SharedSan.coalesced(), IssuancePolicy::SharedSan);
+        let wildcard = IssuancePolicy::Wildcard { zone: d("example.com") };
+        assert_eq!(wildcard.coalesced(), wildcard);
+        // After coalescing, every pair of domains can share a connection
+        // (certificate criterion only).
+        let coalesced = IssuancePolicy::PerDomain.coalesced();
+        assert!(coalesced.allows_reuse_between(&d("example.com"), &d("img.example.com")));
+        assert_eq!(coalesced.certificate_count(4), 1);
     }
 
     #[test]

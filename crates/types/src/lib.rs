@@ -15,6 +15,7 @@
 pub mod domain;
 pub mod id;
 pub mod ip;
+pub mod mitigation;
 pub mod origin;
 pub mod rng;
 pub mod time;
@@ -22,6 +23,7 @@ pub mod time;
 pub use domain::{DomainError, DomainName};
 pub use id::{ConnectionId, IdAllocator, PageId, RequestId, SiteId};
 pub use ip::{IpAddr, Prefix};
+pub use mitigation::{Mitigation, MitigationSet};
 pub use origin::{Origin, Scheme};
 pub use rng::SimRng;
 pub use time::{Duration, Instant, SimClock};

@@ -9,7 +9,7 @@ use netsim_asdb::{well_known, AsCatalog};
 use netsim_dns::{LoadBalancePolicy, ZoneEntry};
 use netsim_fetch::RequestDestination;
 use netsim_tls::{IssuancePolicy, Issuer, IssuerCatalog};
-use netsim_types::{DomainName, Duration, Instant, IpAddr, SimRng, SiteId};
+use netsim_types::{DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, SimRng, SiteId};
 use std::collections::BTreeSet;
 
 /// Subdomain labels used for first-party shards.
@@ -55,6 +55,7 @@ pub struct PopulationBuilder {
     issuers: IssuerCatalog,
     site_count: usize,
     seed: u64,
+    mitigations: MitigationSet,
 }
 
 impl PopulationBuilder {
@@ -67,12 +68,27 @@ impl PopulationBuilder {
             issuers: IssuerCatalog::default_market(),
             site_count,
             seed,
+            mitigations: MitigationSet::empty(),
         }
     }
 
     /// Replace the third-party service catalog.
     pub fn with_catalog(mut self, catalog: ServiceCatalog) -> Self {
         self.catalog = catalog;
+        self
+    }
+
+    /// Deploy the environment-side mitigations while generating: synchronized
+    /// DNS converts every unsynchronized pool (third-party clusters *and*
+    /// first-party multi-IP CDNs) into a synchronized one, and certificate
+    /// coalescing merges split certificate groups and per-shard first-party
+    /// certificates. All sampling (site layout, embeds, shard plans) consumes
+    /// the RNG streams identically, so two builders differing only in
+    /// mitigations produce populations with the *same* sites and request
+    /// plans — only the deployment differs, which is what makes sweep cells
+    /// comparable.
+    pub fn with_mitigations(mut self, mitigations: MitigationSet) -> Self {
+        self.mitigations = mitigations;
         self
     }
 
@@ -86,22 +102,25 @@ impl PopulationBuilder {
         let root = SimRng::new(self.seed);
         let mut env = WebEnvironment::default();
         let mut misc_installed: BTreeSet<usize> = BTreeSet::new();
+        let catalog = self.catalog.with_mitigations(self.mitigations);
 
-        for service in self.catalog.services() {
+        for service in catalog.services() {
             install_service(&mut env, service);
         }
 
         for index in 0..self.site_count {
             let mut rng = root.fork_indexed("site", index as u64);
-            let site = self.generate_site(&mut env, &root, &mut misc_installed, index, &mut rng);
+            let site = self.generate_site(&mut env, &catalog, &root, &mut misc_installed, index, &mut rng);
             env.sites.push(site);
         }
         env
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_site(
         &self,
         env: &mut WebEnvironment,
+        catalog: &ServiceCatalog,
         root: &SimRng,
         misc_installed: &mut BTreeSet<usize>,
         index: usize,
@@ -154,14 +173,15 @@ impl PopulationBuilder {
         if multi_ip {
             let pool: Vec<IpAddr> = (0..4).map(|i| prefix.host(10 + i)).collect();
             for fp_domain in &first_party {
-                env.authority.insert_entry(
-                    fp_domain.clone(),
-                    ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
-                        pool: pool.clone(),
-                        answer_size: 1,
-                        epoch: LB_EPOCH,
-                    }),
-                );
+                let mut policy = LoadBalancePolicy::PerResolverPool {
+                    pool: pool.clone(),
+                    answer_size: 1,
+                    epoch: LB_EPOCH,
+                };
+                if self.mitigations.contains(Mitigation::SynchronizedDns) {
+                    policy = policy.synchronized();
+                }
+                env.authority.insert_entry(fp_domain.clone(), ZoneEntry::balanced(policy));
             }
         } else {
             let ip = prefix.host(10);
@@ -172,7 +192,10 @@ impl PopulationBuilder {
 
         // First-party certificates.
         let per_domain = sharding.as_ref().map(|s| s.per_domain_certificates).unwrap_or(false);
-        let policy = if per_domain { IssuancePolicy::PerDomain } else { IssuancePolicy::SharedSan };
+        let mut policy = if per_domain { IssuancePolicy::PerDomain } else { IssuancePolicy::SharedSan };
+        if self.mitigations.contains(Mitigation::CertificateCoalescing) {
+            policy = policy.coalesced();
+        }
         env.certificates.issue_with_policy(issuer, &policy, &first_party, Instant::EPOCH);
 
         // Fetch plan: document first.
@@ -202,7 +225,7 @@ impl PopulationBuilder {
 
         // Third-party services.
         let mut embedded = Vec::new();
-        for service in self.catalog.services() {
+        for service in catalog.services() {
             if !rng.chance(self.profile.embed_probability(&service.name)) {
                 continue;
             }
@@ -374,6 +397,26 @@ mod tests {
         assert_eq!(a.certificates.len(), b.certificates.len());
         let c = build_small(PopulationProfile::archive(), 50, 43);
         assert_ne!(a.sites, c.sites);
+    }
+
+    #[test]
+    fn mitigated_population_keeps_sites_and_plans_identical() {
+        let baseline = PopulationBuilder::new(PopulationProfile::alexa(), 60, 13).build();
+        let mitigated = PopulationBuilder::new(PopulationProfile::alexa(), 60, 13)
+            .with_mitigations(MitigationSet::all())
+            .build();
+        // Same sites, same request plans — only the deployment differs.
+        assert_eq!(baseline.sites, mitigated.sites);
+        // Certificate coalescing can only reduce the number of certificates.
+        assert!(mitigated.certificates.len() <= baseline.certificates.len());
+        // Every plan still resolves and has a covering certificate.
+        for site in &mitigated.sites {
+            for request in &site.plan {
+                assert!(mitigated.authority.knows(&request.domain));
+                let cert = mitigated.certificate_for(&request.domain).expect("certificate exists");
+                assert!(cert.covers(&request.domain));
+            }
+        }
     }
 
     #[test]

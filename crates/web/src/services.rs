@@ -18,7 +18,7 @@
 use netsim_asdb::{well_known, AutonomousSystem};
 use netsim_fetch::RequestDestination;
 use netsim_tls::Issuer;
-use netsim_types::DomainName;
+use netsim_types::{DomainName, Mitigation, MitigationSet};
 use serde::{Deserialize, Serialize};
 
 /// One request a service triggers when embedded.
@@ -222,6 +222,46 @@ impl ServiceCatalog {
             })
             .collect();
         ServiceCatalog { services }
+    }
+
+    /// A what-if variant in which every provider has coalesced its
+    /// certificates: all certificate groups of a service merge into a single
+    /// group, so one certificate covers every domain the service serves.
+    /// DNS deployments and request chains are unchanged. This is the
+    /// catalog-side half of [`Mitigation::CertificateCoalescing`].
+    pub fn with_coalesced_certificates(&self) -> ServiceCatalog {
+        let services = self
+            .services
+            .iter()
+            .cloned()
+            .map(|mut service| {
+                let mut merged: Vec<DomainName> =
+                    service.hosting.certificate_groups.drain(..).flatten().collect();
+                merged.sort();
+                merged.dedup();
+                if !merged.is_empty() {
+                    service.hosting.certificate_groups = vec![merged];
+                }
+                service
+            })
+            .collect();
+        ServiceCatalog { services }
+    }
+
+    /// The catalog as deployed under `mitigations`: applies
+    /// [`Mitigation::SynchronizedDns`] and
+    /// [`Mitigation::CertificateCoalescing`] when present (the other two
+    /// mitigations are client-side and do not change the catalog). The empty
+    /// set returns the catalog unchanged.
+    pub fn with_mitigations(&self, mitigations: MitigationSet) -> ServiceCatalog {
+        let mut catalog = self.clone();
+        if mitigations.contains(Mitigation::SynchronizedDns) {
+            catalog = catalog.with_synchronized_dns();
+        }
+        if mitigations.contains(Mitigation::CertificateCoalescing) {
+            catalog = catalog.with_coalesced_certificates();
+        }
+        catalog
     }
 }
 
@@ -989,6 +1029,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn coalesced_variant_merges_certificate_groups_only() {
+        let standard = ServiceCatalog::standard();
+        let coalesced = standard.with_coalesced_certificates();
+        assert_eq!(standard.len(), coalesced.len());
+        let mut some_service_merged = false;
+        for (original, fixed) in standard.services().iter().zip(coalesced.services()) {
+            assert_eq!(original.requests, fixed.requests);
+            assert_eq!(original.hosting.ip_clusters, fixed.hosting.ip_clusters);
+            assert!(fixed.hosting.certificate_groups.len() <= 1);
+            // No domain is lost in the merge.
+            let mut original_domains: Vec<DomainName> =
+                original.hosting.certificate_groups.iter().flatten().cloned().collect();
+            original_domains.sort();
+            original_domains.dedup();
+            let merged: Vec<DomainName> =
+                fixed.hosting.certificate_groups.iter().flatten().cloned().collect();
+            assert_eq!(original_domains, merged);
+            if original.hosting.certificate_groups.len() > 1 {
+                some_service_merged = true;
+            }
+        }
+        assert!(some_service_merged, "the standard catalog should have a split-certificate service");
+    }
+
+    #[test]
+    fn mitigated_catalog_composes_the_environment_side_fixes() {
+        let standard = ServiceCatalog::standard();
+        assert_eq!(standard.with_mitigations(MitigationSet::empty()).services(), standard.services());
+        let both = standard.with_mitigations(
+            MitigationSet::single(Mitigation::SynchronizedDns)
+                .with(Mitigation::CertificateCoalescing)
+                // Client-side mitigations must not change the catalog.
+                .with(Mitigation::CredentialPooling)
+                .with(Mitigation::OriginFrames),
+        );
+        let expected = standard.with_synchronized_dns().with_coalesced_certificates();
+        assert_eq!(both.services(), expected.services());
     }
 
     #[test]

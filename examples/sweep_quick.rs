@@ -1,0 +1,30 @@
+//! Run the 2^4 mitigation what-if matrix on a small population and print the
+//! comparison report, plus the headline numbers the sweep exposes.
+//!
+//! ```text
+//! cargo run --release --example sweep_quick
+//! ```
+
+use connreuse::prelude::*;
+
+fn main() {
+    let config = SweepConfig::quick();
+    let report = run_sweep(&config);
+    println!("{}", report.render());
+
+    println!("headline (share of the measured web's connections avoided):");
+    for mitigation in Mitigation::ALL {
+        println!(
+            "  {:<13} solo {:>5.1} %   marginal {:>5.1} %",
+            mitigation.label(),
+            report.solo_savings(mitigation) * 100.0,
+            report.marginal_savings(mitigation) * 100.0
+        );
+    }
+    println!(
+        "  {:<13} combined {:>5.1} % ({} connections avoided)",
+        "ALL",
+        report.combined_savings() * 100.0,
+        report.connections_saved(MitigationSet::all())
+    );
+}

@@ -48,10 +48,11 @@ pub mod prelude {
         classify_dataset, classify_site, dataset_from_crawl, dataset_from_har, Cause, CdfSeries, Dataset,
         DatasetSummary, DurationModel, SiteObservation,
     };
+    pub use connreuse_experiments::{run_sweep, SweepConfig, SweepReport};
     pub use connreuse_probe::{default_pairs, DomainPair, ProbeConfig, ProbeExperiment};
     pub use netsim_browser::{Browser, BrowserConfig, Crawler, PageVisit};
     pub use netsim_har::{ArchivePipeline, InconsistencyConfig};
-    pub use netsim_types::{DomainName, Duration, Instant, SimClock, SimRng};
+    pub use netsim_types::{DomainName, Duration, Instant, Mitigation, MitigationSet, SimClock, SimRng};
     pub use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};
 }
 

@@ -4,6 +4,7 @@
 //! subsystem starts consuming ambient entropy (hash-map iteration order,
 //! wall-clock time, thread interleavings), this test catches it.
 
+use connreuse::experiments::{Scenario, ScenarioConfig};
 use connreuse::prelude::*;
 use connreuse::quick_analysis;
 
@@ -28,4 +29,40 @@ fn deterministic_across_profiles() {
         let second = quick_analysis(profile, 20, 7);
         assert_eq!(first, second);
     }
+}
+
+/// A scenario built with one worker thread and with eight must yield
+/// byte-identical datasets: parallelism shards the work, never the RNG
+/// streams (which are forked per site, not per thread).
+#[test]
+fn scenario_datasets_are_thread_count_invariant() {
+    let config = ScenarioConfig {
+        archive_sites: 60,
+        alexa_sites: 40,
+        overlap_sites: 24,
+        seed: 20_210_420,
+        threads: 1,
+    };
+    let sequential = Scenario::build(config);
+    let parallel = Scenario::build(ScenarioConfig { threads: 8, ..config });
+    assert_eq!(sequential.har, parallel.har);
+    assert_eq!(sequential.har_filter_statistics, parallel.har_filter_statistics);
+    assert_eq!(sequential.alexa, parallel.alexa);
+    assert_eq!(sequential.alexa_without_fetch, parallel.alexa_without_fetch);
+    assert_eq!(sequential.overlap_har, parallel.overlap_har);
+    assert_eq!(sequential.overlap_alexa, parallel.overlap_alexa);
+}
+
+/// The mitigation sweep shards its 16 cells across worker threads; the
+/// report (structure *and* rendered text) must not depend on the shard
+/// layout.
+#[test]
+fn sweep_reports_are_thread_count_invariant() {
+    let sequential = run_sweep(&SweepConfig { sites: 40, seed: 11, threads: 1 });
+    let parallel = run_sweep(&SweepConfig { sites: 40, seed: 11, threads: 8 });
+    assert_eq!(sequential.cells, parallel.cells);
+    assert_eq!(sequential.render(), parallel.render(), "rendered reports must be byte-identical");
+    // And the sweep itself is seed-sensitive like every other pipeline.
+    let other_seed = run_sweep(&SweepConfig { sites: 40, seed: 12, threads: 8 });
+    assert_ne!(sequential.cells, other_seed.cells);
 }

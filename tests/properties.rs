@@ -6,8 +6,12 @@ use connreuse::core::{
 };
 use connreuse::dns::{LoadBalancePolicy, QueryContext, ResolverId, Vantage};
 use connreuse::h2::hpack::HpackContext;
-use connreuse::tls::{Certificate, CertificateId, Issuer, SanEntry};
-use connreuse::types::{ConnectionId, DomainName, Duration, Instant, IpAddr};
+use connreuse::h2::reuse::{evaluate, ReusePolicy};
+use connreuse::h2::{Connection, Settings};
+use connreuse::tls::{Certificate, CertificateId, CertificateStore, IssuancePolicy, Issuer, SanEntry};
+use connreuse::types::{
+    ConnectionId, DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, Origin,
+};
 use proptest::prelude::*;
 
 /// A small universe of domains so that random SAN lists actually cover some
@@ -77,7 +81,109 @@ fn arbitrary_site(max_connections: usize) -> impl Strategy<Value = SiteObservati
     })
 }
 
+/// Build an established HTTP/2 connection for the reuse-monotonicity
+/// property: a certificate over a SAN subset of the universe (always
+/// covering the initial domain), an optional announced origin set, a remote
+/// address and a credentials partition.
+fn reuse_connection(
+    domain_index: usize,
+    san_mask: u8,
+    ip_index: u8,
+    credentialed: bool,
+    origin_set_mask: Option<u8>,
+) -> Connection {
+    let universe = domain_universe();
+    let mut names: Vec<DomainName> = universe
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| san_mask & (1 << index) != 0)
+        .map(|(_, d)| d.clone())
+        .collect();
+    let initial = universe[domain_index].clone();
+    if !names.contains(&initial) {
+        names.push(initial.clone());
+    }
+    let mut store = CertificateStore::new();
+    let ids =
+        store.issue_with_policy(Issuer::lets_encrypt(), &IssuancePolicy::SharedSan, &names, Instant::EPOCH);
+    let mut connection = Connection::establish(
+        ConnectionId(1),
+        Origin::https(initial),
+        IpAddr::new(192, 0, 2, ip_index),
+        store.get(ids[0]).unwrap().clone(),
+        credentialed,
+        Instant::EPOCH,
+        Settings::default(),
+    );
+    if let Some(mask) = origin_set_mask {
+        // An arbitrary announced set — deliberately not tied to the
+        // certificate, so the property covers misconfigured servers too.
+        let set =
+            universe.iter().enumerate().filter(|(index, _)| mask & (1 << index) != 0).map(|(_, d)| d.clone());
+        connection.receive_origin_set(set);
+    }
+    connection
+}
+
 proptest! {
+    /// Relaxing a [`ReusePolicy`] by enabling any mitigation never
+    /// introduces a *new* [`connreuse::h2::ReuseRefusal`] for any
+    /// connection/request pair: for every mitigation set `S` and mitigation
+    /// `m ∉ S`, `refusals(S ∪ {m}) ⊆ refusals(S)`. In particular a pair
+    /// that was reusable stays reusable — reuse decisions are monotone
+    /// under mitigation.
+    #[test]
+    fn reuse_decisions_are_monotone_under_mitigation(
+        domain_index in 0usize..7,
+        san_mask in 0u8..128,
+        ip_index in 0u8..4,
+        credentialed_bit in 0u8..2,
+        origin_set_mask in proptest::option::of(0u8..128),
+        target_index in 0usize..7,
+        target_ip_index in 0u8..4,
+        request_credentialed_bit in 0u8..2,
+    ) {
+        let credentialed = credentialed_bit == 1;
+        let request_credentialed = request_credentialed_bit == 1;
+        let connection =
+            reuse_connection(domain_index, san_mask, ip_index, credentialed, origin_set_mask);
+        let target = Origin::https(domain_universe()[target_index].clone());
+        let target_ip = IpAddr::new(192, 0, 2, target_ip_index);
+        for combo in MitigationSet::all_combinations() {
+            let base = evaluate(
+                &connection,
+                &target,
+                target_ip,
+                request_credentialed,
+                &ReusePolicy::with_mitigations(combo),
+            );
+            for mitigation in Mitigation::ALL {
+                if combo.contains(mitigation) {
+                    continue;
+                }
+                let relaxed = evaluate(
+                    &connection,
+                    &target,
+                    target_ip,
+                    request_credentialed,
+                    &ReusePolicy::with_mitigations(combo.with(mitigation)),
+                );
+                for refusal in relaxed.refusals() {
+                    prop_assert!(
+                        base.refusals().contains(refusal),
+                        "adding {mitigation} to {combo} introduced {refusal:?} \
+                         (base {:?}, relaxed {:?})",
+                        base.refusals(),
+                        relaxed.refusals()
+                    );
+                }
+                if base.is_reusable() {
+                    prop_assert!(relaxed.is_reusable());
+                }
+            }
+        }
+    }
+
     /// Classifier invariants that must hold for any observation.
     #[test]
     fn classifier_invariants(site in arbitrary_site(8)) {
