@@ -45,14 +45,14 @@ fn bench_reuse_predicate(c: &mut Criterion) {
     let certificate = store.get(ids[0]).unwrap().clone();
     let connection = Connection::establish(
         ConnectionId(1),
-        Origin::https(domains[0].clone()),
+        Origin::https(domains[0]),
         IpAddr::new(10, 0, 0, 1),
         certificate,
         true,
         Instant::EPOCH,
         Settings::default(),
     );
-    let target = Origin::https(domains[49].clone());
+    let target = Origin::https(domains[49]);
     let mut group = c.benchmark_group("substrate_reuse_predicate");
     group.sample_size(100);
     group.bench_function("evaluate_match", |b| {
@@ -140,7 +140,7 @@ fn bench_mitigation_sweep(c: &mut Criterion) {
         store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
     let mut connection = Connection::establish(
         ConnectionId(1),
-        Origin::https(domains[0].clone()),
+        Origin::https(domains[0]),
         IpAddr::new(10, 0, 0, 1),
         store.get(ids[0]).unwrap().clone(),
         true,
@@ -148,7 +148,7 @@ fn bench_mitigation_sweep(c: &mut Criterion) {
         Settings::default(),
     );
     connection.receive_origin_set(domains.iter().cloned());
-    let target = Origin::https(domains[15].clone());
+    let target = Origin::https(domains[15]);
     let relaxed = ReusePolicy::with_mitigations(MitigationSet::all());
     group.bench_function("evaluate_mitigated_policy", |b| {
         b.iter(|| black_box(evaluate(&connection, &target, IpAddr::new(10, 0, 0, 9), false, &relaxed)))

@@ -104,12 +104,21 @@ impl Crawler {
     }
 
     /// Visit one site at its slot in the crawl timeline.
+    ///
+    /// The visit's clock offset, id base and RNG stream are all derived from
+    /// the site's *global* id (`Website::id`), not its position in
+    /// `env.sites`. For monolithic populations the two coincide; for chunked
+    /// populations (`PopulationBuilder::with_site_offset`, used by the atlas
+    /// scale scenario) this keeps every visit byte-identical to the one a
+    /// single giant environment would produce.
     pub fn visit_site(&self, env: &WebEnvironment, index: usize) -> PageVisit {
-        let start = Instant::EPOCH + Duration::from_secs(self.config.visit_spacing_secs * index as u64);
+        let site = &env.sites[index];
+        let global = site.id.value();
+        let start = Instant::EPOCH + Duration::from_secs(self.config.visit_spacing_secs * global);
         let mut clock = SimClock::starting_at(start);
-        let mut browser = Browser::with_id_base(self.config.clone(), index as u64 * ID_STRIDE);
-        let mut rng = SimRng::new(self.seed).fork_indexed("visit", index as u64);
-        browser.load_page(env, &env.sites[index], &mut clock, &mut rng)
+        let mut browser = Browser::with_id_base(self.config.clone(), global * ID_STRIDE);
+        let mut rng = SimRng::new(self.seed).fork_indexed("visit", global);
+        browser.load_page(env, site, &mut clock, &mut rng)
     }
 }
 

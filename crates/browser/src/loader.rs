@@ -55,7 +55,7 @@ impl Browser {
         let started_at = clock.now();
         let deadline = started_at + self.config.page_timeout;
         let mut netlog = NetLog::new();
-        netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain.clone() });
+        netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
 
         // Fresh resolver per visit: browser and OS caches are reset between
         // visits, so only in-visit reuse of DNS answers happens.
@@ -65,7 +65,7 @@ impl Browser {
             "measurement-resolver",
         ));
 
-        let document_origin = Origin::https(site.domain.clone());
+        let document_origin = Origin::https(site.domain);
         let rtt = Duration::from_millis(self.config.base_rtt_ms);
         let mut connections: Vec<Connection> = Vec::new();
         let mut requests: Vec<RequestLogEntry> = Vec::new();
@@ -111,7 +111,7 @@ impl Browser {
         netlog.record(finished_at, NetLogEventKind::PageLoadFinished { requests: requests.len() });
         PageVisit {
             site: site.id,
-            landing_domain: site.domain.clone(),
+            landing_domain: site.domain,
             started_at,
             finished_at,
             connections,
@@ -133,13 +133,9 @@ impl Browser {
         netlog: &mut NetLog,
         rtt: Duration,
     ) -> Option<RequestLogEntry> {
-        let target_origin = Origin::https(planned.domain.clone());
-        let mut fetch_request = FetchRequest::with_defaults(
-            target_origin.clone(),
-            &planned.path,
-            document_origin.clone(),
-            planned.destination,
-        );
+        let target_origin = Origin::https(planned.domain);
+        let mut fetch_request =
+            FetchRequest::with_defaults(target_origin, &planned.path, *document_origin, planned.destination);
         if planned.anonymous {
             fetch_request = fetch_request.anonymous();
         }
@@ -170,16 +166,13 @@ impl Browser {
         let answer = match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
             Ok(answer) => answer,
             Err(_) => {
-                netlog.record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain.clone() });
+                netlog.record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain });
                 return None;
             }
         };
         netlog.record(
             clock.now(),
-            NetLogEventKind::DnsResolved {
-                domain: planned.domain.clone(),
-                addresses: answer.addresses.clone(),
-            },
+            NetLogEventKind::DnsResolved { domain: planned.domain, addresses: answer.addresses.clone() },
         );
         let target_ip = answer.primary_address()?;
 
@@ -202,7 +195,7 @@ impl Browser {
                 for (connection, reasons) in refusals {
                     netlog.record(
                         clock.now(),
-                        NetLogEventKind::ReuseRefused { connection, domain: planned.domain.clone(), reasons },
+                        NetLogEventKind::ReuseRefused { connection, domain: planned.domain, reasons },
                     );
                 }
             }
@@ -215,7 +208,7 @@ impl Browser {
                     clock.now(),
                     NetLogEventKind::ConnectionReused {
                         connection: connections[index].id,
-                        domain: planned.domain.clone(),
+                        domain: planned.domain,
                     },
                 );
                 index
@@ -229,7 +222,7 @@ impl Browser {
                 let id: ConnectionId = self.connection_ids.issue_as();
                 let mut connection = Connection::establish(
                     id,
-                    target_origin.clone(),
+                    target_origin,
                     target_ip,
                     certificate,
                     credentialed,
@@ -244,7 +237,7 @@ impl Browser {
                     clock.now(),
                     NetLogEventKind::ConnectionEstablished {
                         connection: id,
-                        domain: planned.domain.clone(),
+                        domain: planned.domain,
                         ip: target_ip,
                         credentialed,
                     },
@@ -272,7 +265,7 @@ impl Browser {
             NetLogEventKind::RequestSent {
                 request: request_id,
                 connection: connection_id,
-                domain: planned.domain.clone(),
+                domain: planned.domain,
                 path: planned.path.clone(),
             },
         );
@@ -284,7 +277,7 @@ impl Browser {
         Some(RequestLogEntry {
             id: request_id,
             connection: connection_id,
-            domain: planned.domain.clone(),
+            domain: planned.domain,
             path: planned.path.clone(),
             destination: planned.destination,
             credentialed,

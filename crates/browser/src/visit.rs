@@ -72,7 +72,7 @@ impl PageVisit {
 
     /// Distinct hosts contacted during the visit.
     pub fn contacted_domains(&self) -> Vec<DomainName> {
-        let mut domains: Vec<DomainName> = self.requests.iter().map(|r| r.domain.clone()).collect();
+        let mut domains: Vec<DomainName> = self.requests.iter().map(|r| r.domain).collect();
         domains.sort();
         domains.dedup();
         domains

@@ -1,5 +1,18 @@
 //! Dataset-level aggregation: the Table 1 cause counts and the §5.1 headline
 //! numbers.
+//!
+//! Aggregation is **streaming and shard-mergeable**: [`Accumulator`] folds
+//! one [`SiteClassification`] at a time ([`Accumulator::observe`]) and two
+//! accumulators over disjoint site sets combine with
+//! [`Accumulator::merge`] (mirroring `netsim_har::FilterStatistics::merge`).
+//! Because every tracked quantity is a per-site sum, `merge` is associative
+//! and order-insensitive — per-worker shards of a population crawl can be
+//! classified with bounded memory and merged in any order, and the result is
+//! byte-for-byte the batch pass over the concatenated classifications
+//! (property-tested in `tests/streaming_aggregation.rs`). The atlas scale
+//! scenario (`connreuse-experiments`) is built on exactly this: 100 k sites
+//! are crawled chunk by chunk, each visit is classified and folded, and only
+//! the accumulators survive.
 
 use crate::classify::{Cause, SiteClassification};
 use serde::{Deserialize, Serialize};
@@ -12,6 +25,106 @@ pub struct CauseCounts {
     pub sites: usize,
     /// Number of connections carrying the cause.
     pub connections: usize,
+}
+
+impl CauseCounts {
+    /// Component-wise sum (the shard-merge primitive).
+    fn absorb(&mut self, other: CauseCounts) {
+        self.sites += other.sites;
+        self.connections += other.connections;
+    }
+}
+
+/// A streaming, shard-mergeable aggregator of site classifications.
+///
+/// One accumulator per worker shard; observe each classification as soon as
+/// it is produced, drop the classification, and merge the shards afterwards.
+/// Every counter is additive over disjoint site sets, so the merge order
+/// never changes the outcome.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accumulator {
+    /// Per-cause counts (all causes pre-inserted in table order).
+    causes: BTreeMap<Cause, CauseCounts>,
+    /// Sites with ≥1 redundant connection / total redundant connections.
+    redundant: CauseCounts,
+    /// HTTP/2 sites / HTTP/2 connections.
+    total: CauseCounts,
+    /// Every site observed, including those without any HTTP/2 connection
+    /// (excluded from `total` per Table 1 but reported by the atlas scenario).
+    observed_sites: usize,
+}
+
+impl Default for Accumulator {
+    /// Same as [`Accumulator::new`] — the causes map is pre-inserted so the
+    /// "all causes present" invariant holds for every construction path.
+    fn default() -> Self {
+        Accumulator::new()
+    }
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            causes: Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect(),
+            redundant: CauseCounts::default(),
+            total: CauseCounts::default(),
+            observed_sites: 0,
+        }
+    }
+
+    /// Fold one site's classification into the running counts.
+    pub fn observe(&mut self, classification: &SiteClassification) {
+        self.observed_sites += 1;
+        // Sites that never opened an HTTP/2 connection are outside the
+        // analysis population (Table 1 counts only HTTP/2 sites).
+        if classification.total_connections == 0 {
+            return;
+        }
+        self.total.sites += 1;
+        self.total.connections += classification.total_connections;
+        let site_redundant = classification.redundant_connections();
+        if site_redundant > 0 {
+            self.redundant.sites += 1;
+        }
+        self.redundant.connections += site_redundant;
+        for cause in Cause::ALL {
+            let count = classification.connections_with_cause(cause);
+            let entry = self.causes.get_mut(&cause).expect("all causes pre-inserted");
+            entry.connections += count;
+            if count > 0 {
+                entry.sites += 1;
+            }
+        }
+    }
+
+    /// Merge another shard's counts into this accumulator. Associative and
+    /// order-insensitive: any merge tree over per-shard accumulators equals
+    /// the batch pass over all classifications.
+    pub fn merge(&mut self, other: &Accumulator) {
+        for cause in Cause::ALL {
+            let theirs = other.causes.get(&cause).copied().unwrap_or_default();
+            self.causes.get_mut(&cause).expect("all causes pre-inserted").absorb(theirs);
+        }
+        self.redundant.absorb(other.redundant);
+        self.total.absorb(other.total);
+        self.observed_sites += other.observed_sites;
+    }
+
+    /// Number of sites observed so far (including non-HTTP/2 sites).
+    pub fn observed_sites(&self) -> usize {
+        self.observed_sites
+    }
+
+    /// Finish the stream: the dataset summary under `label`.
+    pub fn finish(self, label: &str) -> DatasetSummary {
+        DatasetSummary {
+            label: label.to_string(),
+            causes: self.causes,
+            redundant: self.redundant,
+            total: self.total,
+        }
+    }
 }
 
 /// The aggregated view of one classified dataset — one column block of
@@ -31,35 +144,14 @@ pub struct DatasetSummary {
 }
 
 impl DatasetSummary {
-    /// Aggregate a set of per-site classifications.
+    /// Aggregate a set of per-site classifications — the batch pass, defined
+    /// as the single-shard case of the streaming [`Accumulator`].
     pub fn from_classifications(label: &str, classifications: &[SiteClassification]) -> Self {
-        let mut causes: BTreeMap<Cause, CauseCounts> =
-            Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect();
-        let mut redundant = CauseCounts::default();
-        let mut total = CauseCounts::default();
+        let mut accumulator = Accumulator::new();
         for classification in classifications {
-            // Sites that never opened an HTTP/2 connection are outside the
-            // analysis population (Table 1 counts only HTTP/2 sites).
-            if classification.total_connections == 0 {
-                continue;
-            }
-            total.sites += 1;
-            total.connections += classification.total_connections;
-            let site_redundant = classification.redundant_connections();
-            if site_redundant > 0 {
-                redundant.sites += 1;
-            }
-            redundant.connections += site_redundant;
-            for cause in Cause::ALL {
-                let count = classification.connections_with_cause(cause);
-                let entry = causes.get_mut(&cause).expect("all causes pre-inserted");
-                entry.connections += count;
-                if count > 0 {
-                    entry.sites += 1;
-                }
-            }
+            accumulator.observe(classification);
         }
-        DatasetSummary { label: label.to_string(), causes, redundant, total }
+        accumulator.finish(label)
     }
 
     /// Counts for one cause.
@@ -154,5 +246,53 @@ mod tests {
         assert_eq!(summary.redundant_site_share(), 0.0);
         assert_eq!(summary.connection_share(Cause::Ip), 0.0);
         assert_eq!(summary.redundant_connection_share(), 0.0);
+    }
+
+    #[test]
+    fn sharded_accumulators_merge_to_the_batch_pass() {
+        let classifications = vec![
+            classified("a.com", 5, vec![vec![], vec![Cause::Ip], vec![Cause::Ip, Cause::Cred]]),
+            classified("b.com", 3, vec![vec![], vec![Cause::Cert]]),
+            classified("c.com", 2, vec![vec![], vec![]]),
+            classified("d.com", 0, vec![]),
+        ];
+        let batch = DatasetSummary::from_classifications("test", &classifications);
+
+        // Two shards, merged in both orders.
+        let mut left = Accumulator::new();
+        left.observe(&classifications[0]);
+        left.observe(&classifications[1]);
+        let mut right = Accumulator::new();
+        right.observe(&classifications[2]);
+        right.observe(&classifications[3]);
+
+        let mut forward = left.clone();
+        forward.merge(&right);
+        let mut backward = right.clone();
+        backward.merge(&left);
+
+        assert_eq!(forward, backward);
+        assert_eq!(forward.observed_sites(), 4);
+        assert_eq!(forward.clone().finish("test"), batch);
+        assert_eq!(backward.finish("test"), batch);
+    }
+
+    #[test]
+    fn merging_an_empty_accumulator_is_the_identity() {
+        let mut acc = Accumulator::new();
+        acc.observe(&classified("a.com", 2, vec![vec![], vec![Cause::Cred]]));
+        let snapshot = acc.clone();
+        acc.merge(&Accumulator::new());
+        assert_eq!(acc, snapshot);
+    }
+
+    #[test]
+    fn observed_sites_counts_non_http2_sites_but_totals_do_not() {
+        let mut acc = Accumulator::new();
+        acc.observe(&classified("a.com", 0, vec![]));
+        acc.observe(&classified("b.com", 1, vec![vec![]]));
+        assert_eq!(acc.observed_sites(), 2);
+        let summary = acc.finish("test");
+        assert_eq!(summary.total, CauseCounts { sites: 1, connections: 1 });
     }
 }

@@ -93,15 +93,15 @@ pub fn top_origins_for_cause(
             if previous_indices.is_empty() {
                 continue;
             }
-            *connections_per_origin.entry(connection.origin.clone()).or_default() += 1;
+            *connections_per_origin.entry(connection.origin).or_default() += 1;
             let mut seen: BTreeSet<&DomainName> = BTreeSet::new();
             for &previous_index in previous_indices {
                 let previous_domain = &observation.connections[previous_index].initial_domain;
                 if seen.insert(previous_domain) {
                     *previous_per_origin
-                        .entry(connection.origin.clone())
+                        .entry(connection.origin)
                         .or_default()
-                        .entry(previous_domain.clone())
+                        .entry(*previous_domain)
                         .or_default() += 1;
                 }
             }
@@ -137,7 +137,7 @@ pub fn cert_issuers(
             }
             let issuer = observation.connections[connection.index].issuer.clone();
             *connections.entry(issuer.clone()).or_default() += 1;
-            domains.entry(issuer).or_default().insert(connection.origin.clone());
+            domains.entry(issuer).or_default().insert(connection.origin);
         }
     }
     collect_issuer_rows(connections, domains, limit)
@@ -150,7 +150,7 @@ pub fn issuer_share(dataset: &Dataset, limit: usize) -> Vec<IssuerAttribution> {
     for site in &dataset.sites {
         for connection in &site.connections {
             *connections.entry(connection.issuer.clone()).or_default() += 1;
-            domains.entry(connection.issuer.clone()).or_default().insert(connection.initial_domain.clone());
+            domains.entry(connection.issuer.clone()).or_default().insert(connection.initial_domain);
         }
     }
     collect_issuer_rows(connections, domains, limit)
@@ -189,19 +189,15 @@ pub fn cert_domains(
             if cert_previous.is_empty() {
                 continue;
             }
-            *connections.entry(connection.origin.clone()).or_default() += 1;
+            *connections.entry(connection.origin).or_default() += 1;
             issuers
-                .entry(connection.origin.clone())
+                .entry(connection.origin)
                 .or_insert_with(|| observation.connections[connection.index].issuer.clone());
             let mut seen: BTreeSet<&DomainName> = BTreeSet::new();
             for &previous_index in cert_previous {
                 let previous_domain = &observation.connections[previous_index].initial_domain;
                 if seen.insert(previous_domain) {
-                    *previous
-                        .entry(connection.origin.clone())
-                        .or_default()
-                        .entry(previous_domain.clone())
-                        .or_default() += 1;
+                    *previous.entry(connection.origin).or_default().entry(*previous_domain).or_default() += 1;
                 }
             }
         }
@@ -239,7 +235,7 @@ pub fn asn_for_ip_cause(
             let ip = observation.connections[connection.index].ip;
             let Some(system) = registry.lookup(ip) else { continue };
             *connections.entry(system.clone()).or_default() += 1;
-            domains.entry(system.clone()).or_default().insert(connection.origin.clone());
+            domains.entry(system.clone()).or_default().insert(connection.origin);
         }
     }
     let mut rows: Vec<AsnAttribution> = connections

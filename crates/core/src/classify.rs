@@ -127,7 +127,7 @@ pub fn classify_site(site: &SiteObservation, model: DurationModel) -> SiteClassi
         if excluded_domains.contains(&connection.initial_domain) {
             classified.push(ClassifiedConnection {
                 index,
-                origin: connection.initial_domain.clone(),
+                origin: connection.initial_domain,
                 causes: BTreeMap::new(),
                 excluded: true,
             });
@@ -165,17 +165,13 @@ pub fn classify_site(site: &SiteObservation, model: DurationModel) -> SiteClassi
         }
         classified.push(ClassifiedConnection {
             index,
-            origin: connection.initial_domain.clone(),
+            origin: connection.initial_domain,
             causes,
             excluded: false,
         });
     }
 
-    SiteClassification {
-        site: site.site.clone(),
-        total_connections: site.connections.len(),
-        connections: classified,
-    }
+    SiteClassification { site: site.site, total_connections: site.connections.len(), connections: classified }
 }
 
 /// Classify every site of a dataset. The result is aligned index-by-index

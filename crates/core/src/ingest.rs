@@ -21,7 +21,7 @@ pub fn site_from_visit(visit: &PageVisit) -> SiteObservation {
         .iter()
         .map(|connection| ObservedConnection {
             id: connection.id,
-            initial_domain: connection.initial_origin.host.clone(),
+            initial_domain: connection.initial_origin.host,
             ip: connection.remote_ip,
             port: connection.port,
             san: connection.certificate.san.clone(),
@@ -31,14 +31,14 @@ pub fn site_from_visit(visit: &PageVisit) -> SiteObservation {
             requests: visit
                 .requests_on(connection.id)
                 .map(|request| ObservedRequest {
-                    domain: request.domain.clone(),
+                    domain: request.domain,
                     status: request.status,
                     started_at: request.started_at,
                 })
                 .collect(),
         })
         .collect();
-    SiteObservation { site: visit.landing_domain.clone(), connections }
+    SiteObservation { site: visit.landing_domain, connections }
 }
 
 /// Convert a whole crawl into a dataset.
@@ -107,7 +107,7 @@ pub fn dataset_from_har(dataset: &HarDataset, label: &str) -> Dataset {
 
 /// Convenience for tests and examples: the landing domains of a dataset.
 pub fn site_domains(dataset: &Dataset) -> Vec<DomainName> {
-    dataset.sites.iter().map(|s| s.site.clone()).collect()
+    dataset.sites.iter().map(|s| s.site).collect()
 }
 
 #[cfg(test)]

@@ -33,6 +33,11 @@
 //! [`ingest`] adapts both data sources (NetLog-style browser visits and
 //! HTTP-Archive HAR corpora) into the common [`observation`] model.
 
+// The interned-id migration made `DomainName`/`Origin` copyable; keep the
+// hot ingest/attribution/classify paths free of the clone storm for good.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod aggregate;
 pub mod attribution;
 pub mod classify;
@@ -42,7 +47,7 @@ pub mod observation;
 pub mod overlap;
 pub mod report;
 
-pub use aggregate::{CauseCounts, DatasetSummary};
+pub use aggregate::{Accumulator, CauseCounts, DatasetSummary};
 pub use classify::{classify_dataset, classify_site, Cause, ClassifiedConnection, SiteClassification};
 pub use ingest::{dataset_from_crawl, dataset_from_har, site_from_har_document, site_from_visit};
 pub use observation::{Dataset, DurationModel, ObservedConnection, ObservedRequest, SiteObservation};

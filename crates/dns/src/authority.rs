@@ -36,7 +36,7 @@ impl Authority {
     /// Convenience: ensure a zone exists for `apex` and return a mutable
     /// reference to it.
     pub fn zone_mut(&mut self, apex: DomainName) -> &mut Zone {
-        self.zones.entry(apex.clone()).or_insert_with(|| Zone::rooted(apex))
+        self.zones.entry(apex).or_insert_with(|| Zone::rooted(apex))
     }
 
     /// Insert a single entry, creating the zone for the name's registrable
@@ -59,7 +59,7 @@ impl Authority {
     /// The zone responsible for `name`: the zone whose apex is the longest
     /// suffix of `name`.
     pub fn zone_for(&self, name: &DomainName) -> Option<&Zone> {
-        let mut candidate = Some(name.clone());
+        let mut candidate = Some(*name);
         while let Some(current) = candidate {
             if let Some(zone) = self.zones.get(&current) {
                 if zone.entry(name).is_some() || &current == name {

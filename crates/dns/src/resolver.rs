@@ -143,7 +143,7 @@ impl RecursiveResolver {
         };
         match self.resolve_uncached(authority, name, &ctx) {
             Ok(answer) => {
-                self.cache.insert(name.clone(), CacheLine { answer: answer.clone() });
+                self.cache.insert(*name, CacheLine { answer: answer.clone() });
                 Ok(answer)
             }
             Err(err) => {
@@ -159,23 +159,23 @@ impl RecursiveResolver {
         name: &DomainName,
         ctx: &QueryContext,
     ) -> Result<Answer, ResolutionError> {
-        let mut current = name.clone();
+        let mut current = *name;
         let mut chain: Vec<DomainName> = Vec::new();
         let mut min_ttl = self.config.max_ttl;
         for _ in 0..MAX_CNAME_DEPTH {
             let records = authority.query(&current, ctx);
             if records.is_empty() {
                 return if chain.is_empty() {
-                    Err(ResolutionError::NxDomain(name.clone()))
+                    Err(ResolutionError::NxDomain(*name))
                 } else {
-                    Err(ResolutionError::NoAddress(name.clone()))
+                    Err(ResolutionError::NoAddress(*name))
                 };
             }
             // Either a CNAME (single record) or a set of A records.
             if let Some(target) = records[0].data.as_cname() {
                 min_ttl = min_duration(min_ttl, records[0].ttl);
-                chain.push(target.clone());
-                current = target.clone();
+                chain.push(*target);
+                current = *target;
                 continue;
             }
             let mut addresses = Vec::with_capacity(records.len());
@@ -189,18 +189,18 @@ impl RecursiveResolver {
                 }
             }
             if addresses.is_empty() {
-                return Err(ResolutionError::NoAddress(name.clone()));
+                return Err(ResolutionError::NoAddress(*name));
             }
             let effective_ttl = min_duration(min_ttl, self.config.max_ttl);
             return Ok(Answer {
-                query_name: name.clone(),
+                query_name: *name,
                 canonical_name: current,
                 cname_chain: chain,
                 addresses,
                 expires_at: ctx.now + effective_ttl,
             });
         }
-        Err(ResolutionError::CnameLoop(name.clone()))
+        Err(ResolutionError::CnameLoop(*name))
     }
 }
 

@@ -111,17 +111,11 @@ impl Zone {
         match self.entries.get(name) {
             None => Vec::new(),
             Some(ZoneEntry::Alias { target, ttl }) => {
-                vec![ResourceRecord {
-                    name: name.clone(),
-                    ttl: *ttl,
-                    data: RecordData::Cname(target.clone()),
-                }]
+                vec![ResourceRecord { name: *name, ttl: *ttl, data: RecordData::Cname(*target) }]
             }
-            Some(ZoneEntry::Addresses { policy, ttl }) => policy
-                .select(name, ctx)
-                .into_iter()
-                .map(|ip| ResourceRecord::a(name.clone(), ip, *ttl))
-                .collect(),
+            Some(ZoneEntry::Addresses { policy, ttl }) => {
+                policy.select(name, ctx).into_iter().map(|ip| ResourceRecord::a(*name, ip, *ttl)).collect()
+            }
         }
     }
 }

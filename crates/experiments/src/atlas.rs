@@ -1,0 +1,466 @@
+//! The atlas scale scenario: a 100 k-site synthetic population crawled and
+//! classified with bounded memory.
+//!
+//! The paper's headline numbers come from crawling the Alexa Top **100 k**
+//! and 6.24 M HTTP-Archive sites; the quick scenario reproduces the shape of
+//! those results at a few hundred sites. The atlas engine closes the scale
+//! gap: it generates a population the size of the paper's own measurement and
+//! pushes every page load through the full dns → tls → h2 → fetch →
+//! classification pipeline, without ever holding the population (or its
+//! visits) in memory at once.
+//!
+//! ## How it scales
+//!
+//! * **Chunked generation** — the population is built in fixed-size chunks
+//!   via [`netsim_web::PopulationBuilder::with_site_offset`]. A chunk
+//!   environment contains only its slice of sites (plus the shared service
+//!   catalog), so memory is bounded by `chunk_sites`, not `sites`.
+//! * **Streaming classification** — every visit is converted, classified and
+//!   folded into a per-chunk [`connreuse_core::Accumulator`] immediately,
+//!   then dropped. Nothing proportional to the population survives a chunk.
+//! * **Shard merging** — chunks are distributed over worker threads; the
+//!   per-chunk accumulators are merged *in chunk order* afterwards.
+//!   `Accumulator::merge` is associative and order-insensitive, and every
+//!   stochastic choice flows from RNG streams forked off the root seed by
+//!   global site index — so `threads = 1` and `threads = 8` produce
+//!   byte-identical reports (asserted in `tests/determinism.rs`).
+//! * **Interned domains** — the per-request hot path copies 24-byte
+//!   [`netsim_types::DomainName`] handles instead of cloning strings; the
+//!   intern table holds each distinct domain once for the whole run.
+//!
+//! ## Population shape
+//!
+//! Sites mix the two calibrated profiles by **Zipf rank**: the site at
+//! global rank `r` uses the heavier Alexa profile with probability
+//! `(1/(1+r))^zipf_exponent` and the broader HTTP-Archive profile otherwise,
+//! mirroring how top-list sites carry more third-party instrumentation than
+//! the long tail. Seeds reuse the scenario's Alexa offsets
+//! ([`crate::scenario::ALEXA_POPULATION_SEED_OFFSET`] /
+//! [`crate::scenario::ALEXA_CRAWL_SEED_OFFSET`]).
+//!
+//! The deterministic report ([`AtlasReport::render`]) carries the population
+//! and redundancy tables; wall-clock throughput and peak RSS are collected
+//! separately ([`AtlasMetrics`]) so golden snapshots and thread-invariance
+//! checks stay byte-stable.
+
+use crate::render::{format_count, format_percent, TextTable};
+use crate::scenario::{ScenarioConfig, ALEXA_CRAWL_SEED_OFFSET, ALEXA_POPULATION_SEED_OFFSET};
+use connreuse_core::{classify_site, site_from_visit, Accumulator, Cause, DatasetSummary, DurationModel};
+use netsim_browser::{BrowserConfig, Crawler};
+use netsim_types::{interned_domain_count, interned_domain_octets};
+use netsim_web::{PopulationBuilder, PopulationProfile};
+use serde::{Deserialize, Serialize};
+
+/// Sizing and seeding of one atlas run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AtlasConfig {
+    /// Total population size (the paper's own crawl: 100 k).
+    pub sites: usize,
+    /// Sites per generation/crawl chunk. Fixed independently of `threads`,
+    /// so the chunk layout — and therefore the report — never depends on the
+    /// worker count. Memory scales with this, not with `sites`.
+    pub chunk_sites: usize,
+    /// Root seed; the population and crawl seeds derive from it via the
+    /// shared Alexa offsets.
+    pub seed: u64,
+    /// Worker threads the chunks are sharded across.
+    pub threads: usize,
+    /// Exponent of the Zipf head-profile mix (0 = every site uses the Alexa
+    /// profile; larger = faster decay into the archive-shaped tail).
+    pub zipf_exponent: f64,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            sites: 100_000,
+            chunk_sites: 1_000,
+            seed: ScenarioConfig::default().seed,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            zipf_exponent: 0.35,
+        }
+    }
+}
+
+impl AtlasConfig {
+    /// The full-scale run: 100 k sites, the paper's own population size.
+    pub fn full() -> Self {
+        AtlasConfig::default()
+    }
+
+    /// A small configuration for tests, golden snapshots and the CI smoke
+    /// run.
+    pub fn quick() -> Self {
+        AtlasConfig { sites: 400, chunk_sites: 80, ..AtlasConfig::default() }
+    }
+
+    /// The atlas sized to match a scenario: same root seed and thread
+    /// budget, population scaled to the scenario's Alexa share.
+    pub fn from_scenario(config: &ScenarioConfig) -> Self {
+        AtlasConfig {
+            sites: config.alexa_sites * 2,
+            chunk_sites: (config.alexa_sites / 4).max(1),
+            seed: config.seed,
+            threads: config.threads,
+            ..AtlasConfig::default()
+        }
+    }
+
+    /// The chunk ranges `[start, start + len)` covering the population.
+    fn chunks(&self) -> Vec<(usize, usize)> {
+        let chunk = self.chunk_sites.max(1);
+        (0..self.sites.div_ceil(chunk))
+            .map(|i| {
+                let start = i * chunk;
+                (start, chunk.min(self.sites - start))
+            })
+            .collect()
+    }
+}
+
+/// Deterministic per-chunk tallies beyond the classification counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct AtlasTallies {
+    /// Requests sent across all visits.
+    requests: usize,
+    /// Requests planned across all generated sites.
+    planned_requests: usize,
+}
+
+impl AtlasTallies {
+    fn merge(&mut self, other: &AtlasTallies) {
+        self.requests += other.requests;
+        self.planned_requests += other.planned_requests;
+    }
+}
+
+/// Non-deterministic run metrics: wall-clock throughput and memory footprint.
+/// Kept out of [`AtlasReport::render`] so reports stay byte-identical across
+/// thread counts and machines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AtlasMetrics {
+    /// Wall-clock seconds the run took.
+    pub elapsed_secs: f64,
+    /// Sites classified per wall-clock second (`sites / elapsed_secs`).
+    pub sites_per_second: f64,
+    /// Peak resident set size in bytes (`VmHWM` on Linux; 0 where
+    /// unavailable).
+    pub peak_rss_bytes: u64,
+    /// Distinct domain strings in the global intern table after the run.
+    pub interned_domains: usize,
+    /// Total octets those interned strings occupy (the bounded "leak" the
+    /// intern table trades for copyable handles).
+    pub interned_octets: usize,
+}
+
+impl AtlasMetrics {
+    /// Human-readable metrics block (printed by the `connreuse-atlas` bin).
+    pub fn render(&self) -> String {
+        format!(
+            "throughput: {:.1} sites/s ({:.2} s wall) | peak RSS: {:.1} MiB | interned domains: {} \
+             ({:.1} MiB)\n",
+            self.sites_per_second,
+            self.elapsed_secs,
+            self.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            format_count(self.interned_domains),
+            self.interned_octets as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+/// The completed atlas run.
+///
+/// Equality deliberately ignores [`AtlasReport::metrics`]: two runs of the
+/// same config are *equal* (byte-identical report) even though their
+/// wall-clock and RSS readings differ.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AtlasReport {
+    /// The configuration the run used.
+    pub config: AtlasConfig,
+    /// The classified redundancy of the whole population (recorded
+    /// durations, like the scenario's Alexa measurement).
+    pub summary: DatasetSummary,
+    /// Sites observed (equals `config.sites` — every site is visited).
+    pub observed_sites: usize,
+    /// Number of generation/crawl chunks the population was split into.
+    pub chunk_count: usize,
+    /// Total requests sent across all visits.
+    pub requests: usize,
+    /// Total planned requests across all generated sites.
+    pub planned_requests: usize,
+    /// Wall-clock / memory metrics (excluded from [`AtlasReport::render`]).
+    pub metrics: AtlasMetrics,
+}
+
+impl PartialEq for AtlasReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.summary == other.summary
+            && self.observed_sites == other.observed_sites
+            && self.chunk_count == other.chunk_count
+            && self.requests == other.requests
+            && self.planned_requests == other.planned_requests
+    }
+}
+
+/// Run the atlas scenario: generate, crawl and classify `config.sites` sites
+/// in chunks, streaming everything into shard-merged accumulators.
+pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
+    let started = std::time::Instant::now();
+    let chunks = config.chunks();
+    let mut results: Vec<Option<(Accumulator, AtlasTallies)>> = Vec::new();
+    results.resize_with(chunks.len(), || None);
+
+    let threads = config.threads.clamp(1, chunks.len().max(1));
+    if threads <= 1 {
+        for (slot, chunk) in results.iter_mut().zip(&chunks) {
+            *slot = Some(run_chunk(config, *chunk));
+        }
+    } else {
+        let per_worker = chunks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (slots, shard) in results.chunks_mut(per_worker).zip(chunks.chunks(per_worker)) {
+                scope.spawn(move || {
+                    for (slot, chunk) in slots.iter_mut().zip(shard) {
+                        *slot = Some(run_chunk(config, *chunk));
+                    }
+                });
+            }
+        });
+    }
+
+    // Deterministic merge in chunk order (any order would do — merge is
+    // order-insensitive — but fixed order keeps the intent obvious).
+    let mut accumulator = Accumulator::new();
+    let mut tallies = AtlasTallies::default();
+    for result in results {
+        let (chunk_accumulator, chunk_tallies) = result.expect("every chunk ran");
+        accumulator.merge(&chunk_accumulator);
+        tallies.merge(&chunk_tallies);
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let observed_sites = accumulator.observed_sites();
+    AtlasReport {
+        config: *config,
+        summary: accumulator.finish("atlas"),
+        observed_sites,
+        chunk_count: chunks.len(),
+        requests: tallies.requests,
+        planned_requests: tallies.planned_requests,
+        metrics: AtlasMetrics {
+            elapsed_secs: elapsed,
+            sites_per_second: if elapsed > 0.0 { config.sites as f64 / elapsed } else { 0.0 },
+            peak_rss_bytes: peak_rss_bytes(),
+            interned_domains: interned_domain_count(),
+            interned_octets: interned_domain_octets(),
+        },
+    }
+}
+
+/// Generate, crawl and classify one chunk `[start, start + len)`.
+fn run_chunk(config: &AtlasConfig, (start, len): (usize, usize)) -> (Accumulator, AtlasTallies) {
+    // Both profiles carry the scenario name so generated domains read
+    // `atlas-site-000123.<tld>` regardless of which profile a rank draws.
+    let mut head = PopulationProfile::alexa();
+    head.name = "atlas".to_string();
+    let mut tail = PopulationProfile::archive();
+    tail.name = "atlas".to_string();
+
+    let env = PopulationBuilder::new(tail, len, config.seed + ALEXA_POPULATION_SEED_OFFSET)
+        .with_site_offset(start)
+        .with_zipf_profile_mix(head, config.zipf_exponent)
+        .build();
+
+    let crawler =
+        Crawler::new("atlas", BrowserConfig::alexa_measurement(), config.seed + ALEXA_CRAWL_SEED_OFFSET);
+
+    let mut accumulator = Accumulator::new();
+    let mut tallies = AtlasTallies { requests: 0, planned_requests: env.total_planned_requests() };
+    for index in 0..env.sites.len() {
+        // Visit → observe → classify → fold, then drop the visit: nothing
+        // proportional to the chunk's page loads outlives this iteration.
+        let visit = crawler.visit_site(&env, index);
+        tallies.requests += visit.request_count();
+        let observation = site_from_visit(&visit);
+        drop(visit);
+        accumulator.observe(&classify_site(&observation, DurationModel::Recorded));
+    }
+    (accumulator, tallies)
+}
+
+/// Peak resident set size of this process (`VmHWM`), or 0 if unknown.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+impl AtlasReport {
+    /// Fraction of planned requests actually sent (page timeouts can clip
+    /// the tail of a plan).
+    pub fn request_completion(&self) -> f64 {
+        if self.planned_requests == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.planned_requests as f64
+        }
+    }
+
+    /// Render the deterministic report: population shape plus the
+    /// redundancy summary. Throughput/RSS live in [`AtlasMetrics::render`].
+    pub fn render(&self) -> String {
+        let mut population = TextTable::new(
+            &format!(
+                "Atlas: {} sites (Zipf profile mix, exponent {:.2}), seed {}, {} chunks of {}",
+                format_count(self.config.sites),
+                self.config.zipf_exponent,
+                self.config.seed,
+                self.chunk_count,
+                self.config.chunk_sites,
+            ),
+            &["metric", "value"],
+        );
+        population.push_row(["sites visited", &format_count(self.observed_sites)]);
+        population.push_row(["HTTP/2 sites", &format_count(self.summary.total.sites)]);
+        population.push_row(["connections", &format_count(self.summary.total.connections)]);
+        population.push_row(["requests sent", &format_count(self.requests)]);
+        population.push_row(["requests planned", &format_count(self.planned_requests)]);
+
+        let mut causes = TextTable::new(
+            "Atlas: causes of redundant connections (recorded durations)",
+            &["cause", "sites", "site share", "conns.", "conn. share"],
+        );
+        for cause in Cause::ALL {
+            let counts = self.summary.cause(cause);
+            causes.push_row([
+                cause.label().to_string(),
+                format_count(counts.sites),
+                format_percent(self.summary.site_share(cause)),
+                format_count(counts.connections),
+                format_percent(self.summary.connection_share(cause)),
+            ]);
+        }
+        causes.push_row([
+            "Redund.".to_string(),
+            format_count(self.summary.redundant.sites),
+            format_percent(self.summary.redundant_site_share()),
+            format_count(self.summary.redundant.connections),
+            format_percent(self.summary.redundant_connection_share()),
+        ]);
+        causes.push_row([
+            "Total".to_string(),
+            format_count(self.summary.total.sites),
+            format_percent(1.0),
+            format_count(self.summary.total.connections),
+            format_percent(1.0),
+        ]);
+
+        format!(
+            "{}\n{}\nredundant sites: {} | redundant connections: {} | request completion: {}\n",
+            population.render(),
+            causes.render(),
+            format_percent(self.summary.redundant_site_share()),
+            format_percent(self.summary.redundant_connection_share()),
+            format_percent(self.request_completion()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AtlasConfig {
+        AtlasConfig { sites: 60, chunk_sites: 16, seed: 7, threads: 2, zipf_exponent: 0.35 }
+    }
+
+    #[test]
+    fn atlas_visits_every_site_and_finds_redundancy() {
+        let report = run_atlas(&tiny());
+        assert_eq!(report.observed_sites, 60);
+        assert_eq!(report.chunk_count, 4);
+        assert!(report.summary.total.connections > 0);
+        assert!(report.summary.redundant.connections > 0);
+        assert!(report.requests > 0);
+        assert!(report.request_completion() > 0.5);
+        assert!(report.metrics.sites_per_second > 0.0);
+    }
+
+    #[test]
+    fn repeated_runs_compare_equal_despite_differing_metrics() {
+        let config = tiny();
+        // PartialEq ignores the wall-clock/RSS metrics, so two runs of the
+        // same config are equal even though their timings differ.
+        assert_eq!(run_atlas(&config), run_atlas(&config));
+    }
+
+    #[test]
+    fn chunk_layout_covers_the_population_exactly() {
+        let config = AtlasConfig { sites: 50, chunk_sites: 16, ..tiny() };
+        let chunks = config.chunks();
+        assert_eq!(chunks, vec![(0, 16), (16, 16), (32, 16), (48, 2)]);
+        assert_eq!(chunks.iter().map(|(_, len)| len).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_classification() {
+        // One big chunk vs. many small ones: the population slices differ
+        // only in how they are generated, never in what they contain.
+        let monolithic = run_atlas(&AtlasConfig { chunk_sites: 60, threads: 1, ..tiny() });
+        let chunked = run_atlas(&AtlasConfig { chunk_sites: 7, threads: 1, ..tiny() });
+        assert_eq!(monolithic.summary, chunked.summary);
+        assert_eq!(monolithic.requests, chunked.requests);
+        assert_eq!(monolithic.planned_requests, chunked.planned_requests);
+    }
+
+    #[test]
+    fn zipf_head_sites_are_heavier_than_the_tail() {
+        // With exponent 0.35 the top ranks overwhelmingly draw the Alexa
+        // profile; deep tail ranks overwhelmingly draw the archive profile.
+        // Compare planned-request mass per site between the first and last
+        // chunk of a run.
+        let config = AtlasConfig { sites: 4_000, chunk_sites: 200, ..tiny() };
+        let mut head_profile = PopulationProfile::alexa();
+        head_profile.name = "atlas".to_string();
+        let mut tail_profile = PopulationProfile::archive();
+        tail_profile.name = "atlas".to_string();
+        let head_env =
+            PopulationBuilder::new(tail_profile.clone(), 200, config.seed + ALEXA_POPULATION_SEED_OFFSET)
+                .with_zipf_profile_mix(head_profile.clone(), config.zipf_exponent)
+                .build();
+        let tail_env = PopulationBuilder::new(tail_profile, 200, config.seed + ALEXA_POPULATION_SEED_OFFSET)
+            .with_site_offset(3_800)
+            .with_zipf_profile_mix(head_profile, config.zipf_exponent)
+            .build();
+        let head_mass = head_env.total_planned_requests() as f64 / 200.0;
+        let tail_mass = tail_env.total_planned_requests() as f64 / 200.0;
+        assert!(
+            head_mass > tail_mass,
+            "head sites should plan more requests per site ({head_mass:.1} vs {tail_mass:.1})"
+        );
+    }
+
+    #[test]
+    fn report_renders_population_and_causes() {
+        let report = run_atlas(&tiny());
+        let text = report.render();
+        assert!(text.contains("Atlas"));
+        for cause in Cause::ALL {
+            assert!(text.contains(cause.label()));
+        }
+        assert!(text.contains("redundant sites"));
+        // Metrics stay out of the deterministic report.
+        assert!(!text.contains("sites/s"));
+        assert!(report.metrics.render().contains("sites/s"));
+    }
+}

@@ -1,0 +1,112 @@
+//! `connreuse-atlas` — run the 100 k-site atlas scale scenario and print the
+//! redundancy report plus throughput/peak-RSS metrics.
+//!
+//! ```text
+//! cargo run -p connreuse-experiments --bin connreuse-atlas --release
+//! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- --quick
+//! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- \
+//!     --sites 100000 --chunk 1000 --threads 8 --out results/atlas.txt
+//! ```
+
+use connreuse_experiments::atlas::{run_atlas, AtlasConfig};
+use std::path::PathBuf;
+
+struct CliOptions {
+    config: AtlasConfig,
+    out: Option<PathBuf>,
+    help: bool,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
+    let mut config = AtlasConfig::full();
+    let mut out = None;
+    let mut help = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sites" => config.sites = parse_value(&mut args, &arg)?,
+            "--chunk" => config.chunk_sites = parse_value(&mut args, &arg)?,
+            "--seed" => config.seed = parse_value(&mut args, &arg)?,
+            "--threads" => config.threads = parse_value(&mut args, &arg)?,
+            "--zipf" => config.zipf_exponent = parse_value(&mut args, &arg)?,
+            "--quick" => {
+                let quick = AtlasConfig::quick();
+                config.sites = quick.sites;
+                config.chunk_sites = quick.chunk_sites;
+            }
+            "--out" => {
+                let value = args.next().ok_or("--out requires a file path")?;
+                out = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => help = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(CliOptions { config, out, help })
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
+    value.parse().map_err(|_| format!("invalid value for {flag}: {value}"))
+}
+
+fn print_usage() {
+    println!("connreuse-atlas — crawl + classify a paper-scale population with bounded memory");
+    println!();
+    println!("usage: connreuse-atlas [options]");
+    println!();
+    println!("options:");
+    println!("  --sites N    population size (default 100000, the paper's own crawl)");
+    println!("  --chunk N    sites per generation/crawl chunk (default 1000; bounds memory)");
+    println!("  --seed N     root seed (default 20210420)");
+    println!("  --threads N  worker threads the chunks shard across");
+    println!("  --zipf X     Zipf exponent of the head/tail profile mix (default 0.35)");
+    println!("  --quick      use the small test-sized population (400 sites)");
+    println!("  --out FILE   also write the report to FILE");
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if options.help {
+        print_usage();
+        return;
+    }
+
+    eprintln!(
+        "atlas: sites={} chunk={} seed={} threads={} zipf={}",
+        options.config.sites,
+        options.config.chunk_sites,
+        options.config.seed,
+        options.config.threads,
+        options.config.zipf_exponent
+    );
+    let report = run_atlas(&options.config);
+
+    let text = report.render();
+    println!("{text}");
+    // Metrics go to stderr so `--out` files and piped stdout stay
+    // deterministic for a given config.
+    eprintln!("{}", report.metrics.render());
+    if let Some(path) = &options.out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(error) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {error}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(error) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// 2^4 mitigation matrix (see [`crate::sweep`]).
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep",
+    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "atlas",
 ];
 
 /// The rendered result of one experiment.
@@ -56,6 +56,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "filters" => filters(scenario),
         "whatif" => whatif(scenario),
         "sweep" => sweep(scenario),
+        "atlas" => atlas(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
     Ok(ExperimentOutput { name: name.to_string(), text })
@@ -658,6 +659,14 @@ fn whatif(scenario: &Scenario) -> String {
 /// reproduces the `Alexa` column of Table 1.
 fn sweep(scenario: &Scenario) -> String {
     crate::sweep::run_sweep(&crate::sweep::SweepConfig::from_scenario(&scenario.config)).render()
+}
+
+/// The atlas scale scenario (see [`crate::atlas`] for the engine): a
+/// Zipf-mixed population crawled chunk by chunk with streaming, shard-merged
+/// aggregation. Sized from the scenario config; the full 100 k-site run is
+/// available via the `connreuse-atlas` bin.
+fn atlas(scenario: &Scenario) -> String {
+    crate::atlas::run_atlas(&crate::atlas::AtlasConfig::from_scenario(&scenario.config)).render()
 }
 
 #[cfg(test)]

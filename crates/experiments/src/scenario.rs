@@ -160,9 +160,9 @@ mod tests {
         assert!(scenario.alexa_without_fetch.total_connections() <= scenario.alexa.total_connections());
         // Both overlap crawls cover the same sites.
         let har_sites: std::collections::BTreeSet<_> =
-            scenario.overlap_har.sites.iter().map(|s| s.site.clone()).collect();
+            scenario.overlap_har.sites.iter().map(|s| s.site).collect();
         let alexa_sites: std::collections::BTreeSet<_> =
-            scenario.overlap_alexa.sites.iter().map(|s| s.site.clone()).collect();
+            scenario.overlap_alexa.sites.iter().map(|s| s.site).collect();
         assert_eq!(har_sites, alexa_sites);
     }
 }

@@ -133,7 +133,7 @@ impl FetchRequest {
     pub fn navigation(host: DomainName) -> Self {
         let origin = Origin::https(host);
         FetchRequest {
-            url_origin: origin.clone(),
+            url_origin: origin,
             path: "/".to_string(),
             initiator: origin,
             destination: RequestDestination::Document,

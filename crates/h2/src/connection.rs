@@ -194,7 +194,7 @@ impl Connection {
         *state = state.receive_end_stream().unwrap_or(StreamState::Closed);
         self.body_octets_received += body_octets;
         if status == 421 {
-            self.excluded_domains.insert(domain.clone());
+            self.excluded_domains.insert(*domain);
         }
         Ok(())
     }

@@ -236,7 +236,7 @@ mod tests {
         );
         Connection::establish(
             ConnectionId(1),
-            Origin::https(names[0].clone()),
+            Origin::https(names[0]),
             ip,
             store.get(ids[0]).unwrap().clone(),
             credentialed,

@@ -65,8 +65,7 @@ mod tests {
     fn default_list_has_twenty_distinct_pairs() {
         let pairs = default_pairs();
         assert_eq!(pairs.len(), 20);
-        let unique: std::collections::BTreeSet<_> =
-            pairs.iter().map(|p| (p.origin.clone(), p.previous.clone())).collect();
+        let unique: std::collections::BTreeSet<_> = pairs.iter().map(|p| (p.origin, p.previous)).collect();
         assert_eq!(unique.len(), pairs.len());
         for pair in &pairs {
             assert_ne!(pair.origin, pair.previous);

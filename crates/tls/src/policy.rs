@@ -53,13 +53,13 @@ impl IssuancePolicy {
                 if domains.is_empty() {
                     Vec::new()
                 } else {
-                    let mut san = vec![SanEntry::Wildcard(zone.clone()), SanEntry::Dns(zone.clone())];
+                    let mut san = vec![SanEntry::Wildcard(*zone), SanEntry::Dns(*zone)];
                     // Domains not covered by the wildcard (deeper than one
                     // label, or outside the zone) still need exact entries.
                     for d in domains {
-                        let covered = SanEntry::Wildcard(zone.clone()).covers(d) || d == zone;
+                        let covered = SanEntry::Wildcard(*zone).covers(d) || d == zone;
                         if !covered {
-                            san.push(SanEntry::Dns(d.clone()));
+                            san.push(SanEntry::Dns(*d));
                         }
                     }
                     vec![san]
@@ -109,7 +109,7 @@ impl IssuancePolicy {
             IssuancePolicy::SharedSan => true,
             IssuancePolicy::PerDomain => false,
             IssuancePolicy::Wildcard { zone } => {
-                let wc = SanEntry::Wildcard(zone.clone());
+                let wc = SanEntry::Wildcard(*zone);
                 (wc.covers(established) || established == zone) && (wc.covers(requested) || requested == zone)
             }
             IssuancePolicy::Grouped { .. } => false, // group membership unknown at this level

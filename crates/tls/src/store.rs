@@ -49,16 +49,16 @@ impl CertificateStore {
         let subject = san
             .first()
             .map(|entry| match entry {
-                SanEntry::Dns(d) => d.clone(),
-                SanEntry::Wildcard(z) => z.clone(),
+                SanEntry::Dns(d) => *d,
+                SanEntry::Wildcard(z) => *z,
             })
             .unwrap_or_else(|| DomainName::literal("invalid.invalid"));
         let cert =
             Certificate { id, subject, san, issuer, not_before, not_after: not_before + DEFAULT_VALIDITY };
         for entry in &cert.san {
             match entry {
-                SanEntry::Dns(d) => self.by_domain.entry(d.clone()).or_default().push(id),
-                SanEntry::Wildcard(z) => self.by_wildcard_zone.entry(z.clone()).or_default().push(id),
+                SanEntry::Dns(d) => self.by_domain.entry(*d).or_default().push(id),
+                SanEntry::Wildcard(z) => self.by_wildcard_zone.entry(*z).or_default().push(id),
             }
         }
         self.certificates.push(cert);
@@ -122,7 +122,7 @@ impl CertificateStore {
             let entry = stats.entry(cert.issuer.clone()).or_default();
             entry.0 += 1;
             for name in cert.dns_names() {
-                entry.1.insert(name.clone());
+                entry.1.insert(*name);
             }
         }
         stats

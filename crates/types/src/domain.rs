@@ -8,8 +8,17 @@
 //! provides a canonicalised [`DomainName`] type that answers them without
 //! pulling in the full public-suffix list: a compact built-in suffix set
 //! covers the suffixes that appear in the simulated web population.
+//!
+//! `DomainName` is a **copyable interned handle**: parsing canonicalises the
+//! text once and stores it in the global intern table (see
+//! [`crate::intern`]), so the value that flows through dns → tls → h2 →
+//! fetch → browser → core is a 24-byte `Copy` struct instead of a heap
+//! `String`. Equality is an id compare; ordering and hashing stay textual /
+//! consistent with equality, so `BTreeMap`-backed reports are byte-identical
+//! to the pre-interning representation.
 
-use serde::{Deserialize, Serialize};
+use crate::intern::{intern_canonical, DomainId};
+use serde::{de, value::Value, Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -48,14 +57,17 @@ const MULTI_LABEL_SUFFIXES: &[&str] = &[
     "co.in", "co.za", "com.ar", "gov.uk",
 ];
 
-/// A canonicalised (lower-case, no trailing dot) DNS domain name.
+/// A canonicalised (lower-case, no trailing dot) DNS domain name, stored as a
+/// copyable handle into the global intern table.
 ///
-/// Ordering and equality are textual on the canonical form, which makes the
-/// type usable as a map key throughout the workspace.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+/// Ordering and equality are textual on the canonical form (equality is an id
+/// compare, which is equivalent because canonicalisation happens before
+/// interning), which makes the type usable as a map key throughout the
+/// workspace.
+#[derive(Clone, Copy)]
 pub struct DomainName {
-    name: String,
+    id: DomainId,
+    name: &'static str,
 }
 
 impl DomainName {
@@ -86,7 +98,13 @@ impl DomainName {
                 return Err(DomainError::BadCharacter(label.to_string()));
             }
         }
-        Ok(DomainName { name: lowered })
+        Ok(Self::from_canonical(&lowered))
+    }
+
+    /// Intern a string that is already canonical (validated + lowercased).
+    fn from_canonical(canonical: &str) -> Self {
+        let (id, name) = intern_canonical(canonical);
+        DomainName { id, name }
     }
 
     /// Construct a domain that is known to be valid at compile time.
@@ -98,13 +116,19 @@ impl DomainName {
         Self::parse(input).expect("invalid domain literal")
     }
 
+    /// The interned id — a 4-byte handle equal iff the canonical strings are
+    /// equal. The raw value is assignment-order dependent; never sort by it.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
     /// The canonical textual form (lower-case, no trailing dot).
-    pub fn as_str(&self) -> &str {
-        &self.name
+    pub fn as_str(&self) -> &'static str {
+        self.name
     }
 
     /// Labels from leftmost (host) to rightmost (TLD).
-    pub fn labels(&self) -> impl Iterator<Item = &str> {
+    pub fn labels(&self) -> impl Iterator<Item = &'static str> {
         self.name.split('.')
     }
 
@@ -120,20 +144,24 @@ impl DomainName {
             return true;
         }
         self.name.len() > other.name.len()
-            && self.name.ends_with(other.name.as_str())
+            && self.name.ends_with(other.name)
             && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
     /// The public suffix of this name (e.g. `co.uk` for `shop.example.co.uk`).
     pub fn public_suffix(&self) -> DomainName {
         for suffix in MULTI_LABEL_SUFFIXES {
-            let candidate = DomainName { name: (*suffix).to_string() };
-            if self.is_subdomain_of(&candidate) && self != &candidate {
-                return candidate;
+            // Textual pre-check first: only the winning suffix touches the
+            // intern table (this runs on population-generation hot paths).
+            let is_strict_subdomain = self.name.len() > suffix.len()
+                && self.name.ends_with(suffix)
+                && self.name.as_bytes()[self.name.len() - suffix.len() - 1] == b'.';
+            if is_strict_subdomain {
+                return DomainName::from_canonical(suffix);
             }
         }
         let last = self.labels().last().unwrap_or_default();
-        DomainName { name: last.to_string() }
+        DomainName::from_canonical(last)
     }
 
     /// The registrable ("second-level") domain: the public suffix plus one
@@ -142,16 +170,16 @@ impl DomainName {
     pub fn registrable(&self) -> DomainName {
         let suffix = self.public_suffix();
         if self == &suffix {
-            return self.clone();
+            return *self;
         }
         let suffix_labels = suffix.label_count();
         let own: Vec<&str> = self.labels().collect();
         if own.len() <= suffix_labels {
-            return self.clone();
+            return *self;
         }
         let keep = suffix_labels + 1;
         let name = own[own.len() - keep..].join(".");
-        DomainName { name }
+        DomainName::from_canonical(&name)
     }
 
     /// `true` if two names share the same registrable domain — the paper's
@@ -170,7 +198,7 @@ impl DomainName {
     /// a single-label name.
     pub fn parent(&self) -> Option<DomainName> {
         let idx = self.name.find('.')?;
-        Some(DomainName { name: self.name[idx + 1..].to_string() })
+        Some(DomainName::from_canonical(&self.name[idx + 1..]))
     }
 
     /// `true` if the leftmost label is the wildcard label `*`.
@@ -195,9 +223,63 @@ impl DomainName {
     }
 }
 
+impl DomainId {
+    /// Rebuild the full [`DomainName`] handle for this interned id.
+    pub fn resolve(self) -> DomainName {
+        DomainName { id: self, name: self.as_str() }
+    }
+}
+
+impl PartialEq for DomainName {
+    fn eq(&self, other: &Self) -> bool {
+        // Canonicalise-then-intern makes id equality equivalent to textual
+        // equality of the lowercase-normalized names.
+        self.id == other.id
+    }
+}
+
+impl Eq for DomainName {}
+
+impl std::hash::Hash for DomainName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with `Eq`: equal ids resolve to equal strings.
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for DomainName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DomainName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Textual, NOT by id: intern ids depend on first-touch order across
+        // threads, while report tables rely on deterministic (lexicographic)
+        // BTreeMap iteration.
+        self.name.cmp(other.name)
+    }
+}
+
+impl Serialize for DomainName {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.name.to_string())
+    }
+}
+
+impl Deserialize for DomainName {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) => DomainName::parse(s).map_err(de::Error::custom),
+            _ => Err(de::Error::custom("expected domain-name string")),
+        }
+    }
+}
+
 impl fmt::Display for DomainName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(self.name)
     }
 }
 
@@ -216,7 +298,7 @@ impl FromStr for DomainName {
 
 impl AsRef<str> for DomainName {
     fn as_ref(&self) -> &str {
-        &self.name
+        self.name
     }
 }
 
@@ -242,6 +324,32 @@ mod tests {
         assert!(matches!(DomainName::parse(&format!("{long_label}.com")), Err(DomainError::BadLength(_))));
         let long_name = format!("{}.com", vec!["abcdefgh"; 32].join("."));
         assert!(matches!(DomainName::parse(&long_name), Err(DomainError::BadLength(_))));
+    }
+
+    #[test]
+    fn interned_ids_track_textual_equality() {
+        let a = DomainName::parse("WWW.Example.COM").unwrap();
+        let b = DomainName::parse("www.example.com.").unwrap();
+        let c = DomainName::parse("img.example.com").unwrap();
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a, c);
+        // The handle is Copy: no allocation on duplication.
+        let copied = a;
+        assert_eq!(copied, b);
+    }
+
+    #[test]
+    fn ordering_is_textual_not_by_intern_id() {
+        // Intern in "wrong" lexicographic order: ids ascend with first touch,
+        // Ord must still be alphabetical.
+        let z = DomainName::literal("zzz-intern-order.example");
+        let a = DomainName::literal("aaa-intern-order.example");
+        assert!(a < z);
+        let mut v = [z, a];
+        v.sort();
+        assert_eq!(v[0], a);
     }
 
     #[test]
@@ -302,5 +410,17 @@ mod tests {
     fn display_and_fromstr_roundtrip() {
         let d: DomainName = "Static.Hotjar.com".parse().unwrap();
         assert_eq!(d.to_string(), "static.hotjar.com");
+    }
+
+    #[test]
+    fn serde_roundtrip_revalidates() {
+        let d = DomainName::literal("www.example.co.uk");
+        let value = d.serialize_value();
+        assert_eq!(value.as_str(), Some("www.example.co.uk"));
+        let back = DomainName::deserialize_value(&value).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.id(), d.id());
+        assert!(DomainName::deserialize_value(&Value::String("bad domain!".to_string())).is_err());
+        assert!(DomainName::deserialize_value(&Value::Null).is_err());
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod domain;
 pub mod id;
+pub mod intern;
 pub mod ip;
 pub mod mitigation;
 pub mod origin;
@@ -22,8 +23,9 @@ pub mod time;
 
 pub use domain::{DomainError, DomainName};
 pub use id::{ConnectionId, IdAllocator, PageId, RequestId, SiteId};
+pub use intern::{interned_domain_count, interned_domain_octets, DomainId};
 pub use ip::{IpAddr, Prefix};
 pub use mitigation::{Mitigation, MitigationSet};
-pub use origin::{Origin, Scheme};
+pub use origin::{Origin, OriginId, Scheme};
 pub use rng::SimRng;
 pub use time::{Duration, Instant, SimClock};

@@ -1,0 +1,99 @@
+//! Property tests for the domain/origin interning layer: parsing, interning,
+//! resolving and displaying must compose to the identity, and interned ids
+//! must agree exactly with lowercase-normalized textual equality.
+
+use netsim_types::{DomainName, Origin, Scheme};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// What `DomainName::parse` canonicalises a raw input to: trimmed, trailing
+/// dot removed, ASCII-lowercased.
+fn normalize(raw: &str) -> String {
+    raw.trim().trim_end_matches('.').to_ascii_lowercase()
+}
+
+prop_compose! {
+    /// A syntactically valid domain with mixed case and an optional trailing
+    /// dot — everything `parse` accepts and has to canonicalise away.
+    fn raw_domain()(
+        labels in prop::collection::vec("[a-zA-Z0-9]{1,8}", 1usize..5),
+        dotted in 0u8..2,
+    ) -> String {
+        let mut raw = labels.join(".");
+        if dotted == 1 {
+            raw.push('.');
+        }
+        raw
+    }
+}
+
+prop_compose! {
+    /// A domain drawn from a deliberately tiny alphabet so that two
+    /// independent draws frequently normalize to the same string — the
+    /// interesting case for the id-equality property.
+    fn colliding_domain()(
+        labels in prop::collection::vec("[aB]{1,2}", 1usize..3),
+        dotted in 0u8..2,
+    ) -> String {
+        let mut raw = labels.join(".");
+        if dotted == 1 {
+            raw.push('.');
+        }
+        raw
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_intern_resolve_display_is_the_identity(raw in raw_domain()) {
+        let parsed = DomainName::parse(&raw).expect("generated domain is valid");
+
+        // Display renders the canonical form.
+        prop_assert_eq!(parsed.to_string(), normalize(&raw));
+        prop_assert_eq!(parsed.as_str(), normalize(&raw).as_str());
+
+        // display → parse is the identity on the handle (same intern slot).
+        let reparsed = DomainName::parse(parsed.as_str()).expect("canonical form reparses");
+        prop_assert_eq!(reparsed, parsed);
+        prop_assert_eq!(reparsed.id(), parsed.id());
+
+        // id → resolve is the identity.
+        let resolved = parsed.id().resolve();
+        prop_assert_eq!(resolved, parsed);
+        prop_assert_eq!(resolved.as_str(), parsed.as_str());
+
+        // serde value round-trip re-interns to the same slot.
+        let restored = DomainName::deserialize_value(&parsed.serialize_value())
+            .expect("serialized domain deserializes");
+        prop_assert_eq!(restored, parsed);
+        prop_assert_eq!(restored.id(), parsed.id());
+    }
+
+    #[test]
+    fn ids_compare_equal_iff_normalized_strings_do(a in colliding_domain(), b in colliding_domain()) {
+        let left = DomainName::parse(&a).expect("generated domain is valid");
+        let right = DomainName::parse(&b).expect("generated domain is valid");
+        let strings_equal = normalize(&a) == normalize(&b);
+        prop_assert_eq!(left.id() == right.id(), strings_equal);
+        prop_assert_eq!(left == right, strings_equal);
+        // Ordering stays textual on the canonical forms.
+        prop_assert_eq!(left.cmp(&right), normalize(&a).cmp(&normalize(&b)));
+    }
+
+    #[test]
+    fn origin_id_packs_and_resolves_the_triple(
+        raw in raw_domain(),
+        port in 1u16..9000,
+        scheme_bit in 0u8..2,
+    ) {
+        let scheme = if scheme_bit == 0 { Scheme::Http } else { Scheme::Https };
+        let origin = Origin::new(scheme, DomainName::parse(&raw).expect("valid"), port);
+        let id = origin.id();
+        prop_assert_eq!(id.resolve(), origin);
+        prop_assert_eq!(id.scheme(), scheme);
+        prop_assert_eq!(id.port(), port);
+        prop_assert_eq!(id.host(), origin.host.id());
+        // Textual round-trip through the ascii serialisation.
+        prop_assert_eq!(Origin::parse(&origin.ascii()), Some(origin));
+    }
+}

@@ -54,8 +54,10 @@ pub struct PopulationBuilder {
     as_catalog: AsCatalog,
     issuers: IssuerCatalog,
     site_count: usize,
+    site_offset: usize,
     seed: u64,
     mitigations: MitigationSet,
+    zipf_head: Option<(PopulationProfile, f64)>,
 }
 
 impl PopulationBuilder {
@@ -67,9 +69,32 @@ impl PopulationBuilder {
             as_catalog: AsCatalog::default(),
             issuers: IssuerCatalog::default_market(),
             site_count,
+            site_offset: 0,
             seed,
             mitigations: MitigationSet::empty(),
+            zipf_head: None,
         }
+    }
+
+    /// Generate the slice `[offset, offset + site_count)` of a larger
+    /// population: site ids, domain names, RNG streams and profile ranks all
+    /// use the *global* index, so building a population in chunks yields
+    /// exactly the sites a single monolithic build would (per chunk), with
+    /// memory bounded by the chunk size. Used by the atlas scale scenario.
+    pub fn with_site_offset(mut self, offset: usize) -> Self {
+        self.site_offset = offset;
+        self
+    }
+
+    /// Mix a second, heavier "head" profile in by Zipf rank: site at global
+    /// rank `r` uses `head` with probability `(1 / (1 + r))^exponent`, the
+    /// base profile otherwise. This reproduces the top-list effect the paper
+    /// observes — popular sites carry more third-party instrumentation — in
+    /// one synthetic population. The mix decision consumes one RNG draw from
+    /// the site's own stream, so it is independent of chunking and threads.
+    pub fn with_zipf_profile_mix(mut self, head: PopulationProfile, exponent: f64) -> Self {
+        self.zipf_head = Some((head, exponent));
+        self
     }
 
     /// Replace the third-party service catalog.
@@ -108,12 +133,18 @@ impl PopulationBuilder {
             install_service(&mut env, service);
         }
 
-        for index in 0..self.site_count {
+        for local in 0..self.site_count {
+            let index = self.site_offset + local;
             let mut rng = root.fork_indexed("site", index as u64);
             let site = self.generate_site(&mut env, &catalog, &root, &mut misc_installed, index, &mut rng);
             env.sites.push(site);
         }
         env
+    }
+
+    /// The Zipf head-profile weight for a global site rank.
+    fn zipf_weight(rank: usize, exponent: f64) -> f64 {
+        (1.0 / (1.0 + rank as f64)).powf(exponent)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -128,8 +159,16 @@ impl PopulationBuilder {
     ) -> Website {
         let domain = self.site_domain(index, rng);
 
+        // Per-site profile: the Zipf head draw (if configured) comes first so
+        // the remaining sampling reads one coherent profile. Without a mix,
+        // the stream is untouched and existing populations stay byte-stable.
+        let profile = match &self.zipf_head {
+            Some((head, exponent)) if rng.chance(Self::zipf_weight(index, *exponent)) => head,
+            _ => &self.profile,
+        };
+
         // Hosting: either fronted by Cloudflare or on a generic hoster.
-        let behind_cloudflare = rng.chance(self.profile.cloudflare_probability);
+        let behind_cloudflare = rng.chance(profile.cloudflare_probability);
         let autonomous_system = if behind_cloudflare {
             well_known::cloudflare()
         } else {
@@ -144,8 +183,8 @@ impl PopulationBuilder {
         };
 
         // Sharding decision.
-        let sharding = if rng.chance(self.profile.sharding_probability) {
-            let (low, high) = self.profile.shard_count_range;
+        let sharding = if rng.chance(profile.sharding_probability) {
+            let (low, high) = profile.shard_count_range;
             let count = rng.in_range(low..=high).min(SHARD_LABELS.len());
             let mut labels: Vec<&str> = SHARD_LABELS.to_vec();
             rng.shuffle(&mut labels);
@@ -155,14 +194,14 @@ impl PopulationBuilder {
                 .collect();
             Some(ShardingPlan {
                 shards,
-                per_domain_certificates: rng.chance(self.profile.per_domain_cert_probability),
-                multi_ip_cdn: rng.chance(self.profile.multi_ip_cdn_probability),
+                per_domain_certificates: rng.chance(profile.per_domain_cert_probability),
+                multi_ip_cdn: rng.chance(profile.multi_ip_cdn_probability),
             })
         } else {
             None
         };
 
-        let mut first_party = vec![domain.clone()];
+        let mut first_party = vec![domain];
         if let Some(plan) = &sharding {
             first_party.extend(plan.shards.iter().cloned());
         }
@@ -181,12 +220,12 @@ impl PopulationBuilder {
                 if self.mitigations.contains(Mitigation::SynchronizedDns) {
                     policy = policy.synchronized();
                 }
-                env.authority.insert_entry(fp_domain.clone(), ZoneEntry::balanced(policy));
+                env.authority.insert_entry(*fp_domain, ZoneEntry::balanced(policy));
             }
         } else {
             let ip = prefix.host(10);
             for fp_domain in &first_party {
-                env.authority.insert_entry(fp_domain.clone(), ZoneEntry::single(ip));
+                env.authority.insert_entry(*fp_domain, ZoneEntry::single(ip));
             }
         }
 
@@ -199,17 +238,17 @@ impl PopulationBuilder {
         env.certificates.issue_with_policy(issuer, &policy, &first_party, Instant::EPOCH);
 
         // Fetch plan: document first.
-        let mut plan = vec![PlannedRequest::document(domain.clone())];
+        let mut plan = vec![PlannedRequest::document(domain)];
 
         // Own sub-resources, spread over the first-party hosts.
-        let (res_low, res_high) = self.profile.own_resource_range;
+        let (res_low, res_high) = profile.own_resource_range;
         let own_resources = rng.in_range(res_low..=res_high);
         let kind_weights: Vec<f64> = OWN_RESOURCE_KINDS.iter().map(|(_, _, w)| *w).collect();
         for resource_index in 0..own_resources {
             let host = if first_party.len() == 1 || rng.chance(0.5) {
-                first_party[0].clone()
+                first_party[0]
             } else {
-                first_party[1 + rng.in_range(0..first_party.len() - 1)].clone()
+                first_party[1 + rng.in_range(0..first_party.len() - 1)]
             };
             let kind = rng.pick_weighted_index(&kind_weights).unwrap_or(0);
             let (destination, extension, _) = OWN_RESOURCE_KINDS[kind];
@@ -226,7 +265,7 @@ impl PopulationBuilder {
         // Third-party services.
         let mut embedded = Vec::new();
         for service in catalog.services() {
-            if !rng.chance(self.profile.embed_probability(&service.name)) {
+            if !rng.chance(profile.embed_probability(&service.name)) {
                 continue;
             }
             embedded.push(service.name.clone());
@@ -234,10 +273,10 @@ impl PopulationBuilder {
         }
 
         // Unrelated one-off third parties (the "unknown third party" class).
-        let (misc_low, misc_high) = self.profile.misc_third_party_range;
+        let (misc_low, misc_high) = profile.misc_third_party_range;
         let misc_count = rng.in_range(misc_low..=misc_high);
         for _ in 0..misc_count {
-            let pool_index = rng.in_range(0..self.profile.misc_third_party_pool);
+            let pool_index = rng.in_range(0..profile.misc_third_party_pool);
             let misc_domain = misc_domain_for(pool_index);
             if misc_installed.insert(pool_index) {
                 self.install_misc_third_party(env, root, pool_index, &misc_domain);
@@ -275,7 +314,7 @@ impl PopulationBuilder {
             self.as_catalog.generic_for(rng.in_range(0..1_000_000u32))
         };
         let prefix = env.registry.allocate_slash24(autonomous_system);
-        env.authority.insert_entry(domain.clone(), ZoneEntry::single(prefix.host(20)));
+        env.authority.insert_entry(*domain, ZoneEntry::single(prefix.host(20)));
         let weights = self.issuers.weights();
         let issuer = self.issuers.issuer_at(rng.pick_weighted_index(&weights).unwrap_or(0)).clone();
         env.certificates.issue_with_policy(
@@ -302,7 +341,7 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
                 let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
                 let ip = prefix.host(10);
                 for domain in &cluster.domains {
-                    env.authority.insert_entry(domain.clone(), ZoneEntry::single(ip));
+                    env.authority.insert_entry(*domain, ZoneEntry::single(ip));
                 }
             }
             DnsDeployment::UnsynchronizedPool { pool_size, answer_size } => {
@@ -310,7 +349,7 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
                 let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
                 for domain in &cluster.domains {
                     env.authority.insert_entry(
-                        domain.clone(),
+                        *domain,
                         ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
                             pool: pool.clone(),
                             answer_size: *answer_size,
@@ -324,7 +363,7 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
                 let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
                 for domain in &cluster.domains {
                     env.authority.insert_entry(
-                        domain.clone(),
+                        *domain,
                         ZoneEntry::balanced(LoadBalancePolicy::SynchronizedPool {
                             pool: pool.clone(),
                             answer_size: *answer_size,
@@ -336,7 +375,7 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
             DnsDeployment::DistinctNetworks => {
                 for domain in &cluster.domains {
                     let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
-                    env.authority.insert_entry(domain.clone(), ZoneEntry::single(prefix.host(10)));
+                    env.authority.insert_entry(*domain, ZoneEntry::single(prefix.host(10)));
                 }
             }
         }
@@ -366,7 +405,7 @@ fn append_service_requests(plan: &mut Vec<PlannedRequest>, service: &ThirdPartyS
             Some(service_parent) => plan_index_of.get(service_parent).copied().flatten().unwrap_or(0),
         };
         let mut planned = PlannedRequest::subresource(
-            request.domain.clone(),
+            request.domain,
             &request.path,
             request.destination,
             parent,

@@ -954,7 +954,7 @@ mod tests {
         let mut seen: std::collections::BTreeMap<DomainName, String> = std::collections::BTreeMap::new();
         for service in catalog.services() {
             for domain in service.domains() {
-                if let Some(owner) = seen.insert(domain.clone(), service.name.clone()) {
+                if let Some(owner) = seen.insert(domain, service.name.clone()) {
                     panic!("domain {domain} owned by both {owner} and {}", service.name);
                 }
             }

@@ -45,7 +45,7 @@ pub struct Website {
 impl Website {
     /// Every first-party hostname of the site (landing domain plus shards).
     pub fn first_party_domains(&self) -> Vec<DomainName> {
-        let mut domains = vec![self.domain.clone()];
+        let mut domains = vec![self.domain];
         if let Some(sharding) = &self.sharding {
             domains.extend(sharding.shards.iter().cloned());
         }
@@ -54,7 +54,7 @@ impl Website {
 
     /// Every distinct hostname the plan touches.
     pub fn contacted_domains(&self) -> Vec<DomainName> {
-        let mut domains: Vec<DomainName> = self.plan.iter().map(|r| r.domain.clone()).collect();
+        let mut domains: Vec<DomainName> = self.plan.iter().map(|r| r.domain).collect();
         domains.sort();
         domains.dedup();
         domains

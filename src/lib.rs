@@ -48,7 +48,9 @@ pub mod prelude {
         classify_dataset, classify_site, dataset_from_crawl, dataset_from_har, Cause, CdfSeries, Dataset,
         DatasetSummary, DurationModel, SiteObservation,
     };
-    pub use connreuse_experiments::{run_sweep, SweepConfig, SweepReport};
+    pub use connreuse_experiments::{
+        run_atlas, run_sweep, AtlasConfig, AtlasReport, SweepConfig, SweepReport,
+    };
     pub use connreuse_probe::{default_pairs, DomainPair, ProbeConfig, ProbeExperiment};
     pub use netsim_browser::{Browser, BrowserConfig, Crawler, PageVisit};
     pub use netsim_har::{ArchivePipeline, InconsistencyConfig};

@@ -4,7 +4,7 @@
 //! subsystem starts consuming ambient entropy (hash-map iteration order,
 //! wall-clock time, thread interleavings), this test catches it.
 
-use connreuse::experiments::{Scenario, ScenarioConfig};
+use connreuse::experiments::{run_atlas, AtlasConfig, Scenario, ScenarioConfig};
 use connreuse::prelude::*;
 use connreuse::quick_analysis;
 
@@ -51,6 +51,29 @@ fn scenario_datasets_are_thread_count_invariant() {
     assert_eq!(sequential.alexa_without_fetch, parallel.alexa_without_fetch);
     assert_eq!(sequential.overlap_har, parallel.overlap_har);
     assert_eq!(sequential.overlap_alexa, parallel.overlap_alexa);
+}
+
+/// The atlas engine generates, crawls and classifies its population in
+/// chunks sharded across worker threads. The chunk layout is fixed by the
+/// config (never by the worker count) and every RNG stream forks off the
+/// global site index, so the classified summary *and* the rendered report
+/// must be byte-identical for `threads = 1` and `threads = 8`.
+#[test]
+fn atlas_reports_are_thread_count_invariant() {
+    let config = AtlasConfig { sites: 120, chunk_sites: 24, seed: 11, threads: 1, zipf_exponent: 0.35 };
+    let sequential = run_atlas(&config);
+    let parallel = run_atlas(&AtlasConfig { threads: 8, ..config });
+    assert_eq!(sequential.summary, parallel.summary);
+    assert_eq!(sequential.requests, parallel.requests);
+    assert_eq!(sequential.planned_requests, parallel.planned_requests);
+    assert_eq!(
+        sequential.render(),
+        parallel.render(),
+        "rendered atlas reports must be byte-identical across thread counts"
+    );
+    // And the atlas is seed-sensitive like every other pipeline.
+    let other_seed = run_atlas(&AtlasConfig { seed: 12, threads: 8, ..config });
+    assert_ne!(sequential.summary, other_seed.summary);
 }
 
 /// The mitigation sweep shards its 16 cells across worker threads; the

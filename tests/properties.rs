@@ -43,18 +43,18 @@ prop_compose! {
         status in prop_oneof![Just(200u16), Just(200u16), Just(200u16), Just(404u16)],
     ) -> ObservedConnection {
         let universe = domain_universe();
-        let domain = universe[domain_index].clone();
+        let domain = universe[domain_index];
         let mut san: Vec<SanEntry> = universe
             .iter()
             .enumerate()
             .filter(|(index, _)| san_mask & (1 << index) != 0)
-            .map(|(_, d)| SanEntry::Dns(d.clone()))
+            .map(|(_, d)| SanEntry::Dns(*d))
             .collect();
         // The certificate always covers the domain it was served for.
-        san.push(SanEntry::Dns(domain.clone()));
+        san.push(SanEntry::Dns(domain));
         ObservedConnection {
             id: ConnectionId(id),
-            initial_domain: domain.clone(),
+            initial_domain: domain,
             ip: IpAddr::new(192, 0, 2, ip_index),
             port: 443,
             san,
@@ -97,11 +97,11 @@ fn reuse_connection(
         .iter()
         .enumerate()
         .filter(|(index, _)| san_mask & (1 << index) != 0)
-        .map(|(_, d)| d.clone())
+        .map(|(_, d)| *d)
         .collect();
-    let initial = universe[domain_index].clone();
+    let initial = universe[domain_index];
     if !names.contains(&initial) {
-        names.push(initial.clone());
+        names.push(initial);
     }
     let mut store = CertificateStore::new();
     let ids =
@@ -118,8 +118,7 @@ fn reuse_connection(
     if let Some(mask) = origin_set_mask {
         // An arbitrary announced set — deliberately not tied to the
         // certificate, so the property covers misconfigured servers too.
-        let set =
-            universe.iter().enumerate().filter(|(index, _)| mask & (1 << index) != 0).map(|(_, d)| d.clone());
+        let set = universe.iter().enumerate().filter(|(index, _)| mask & (1 << index) != 0).map(|(_, d)| *d);
         connection.receive_origin_set(set);
     }
     connection
@@ -147,7 +146,7 @@ proptest! {
         let request_credentialed = request_credentialed_bit == 1;
         let connection =
             reuse_connection(domain_index, san_mask, ip_index, credentialed, origin_set_mask);
-        let target = Origin::https(domain_universe()[target_index].clone());
+        let target = Origin::https(domain_universe()[target_index]);
         let target_ip = IpAddr::new(192, 0, 2, target_ip_index);
         for combo in MitigationSet::all_combinations() {
             let base = evaluate(
@@ -251,8 +250,8 @@ proptest! {
         let zone = DomainName::literal("shard.example.com");
         let certificate = Certificate {
             id: CertificateId(1),
-            subject: zone.clone(),
-            san: vec![SanEntry::Wildcard(zone.clone())],
+            subject: zone,
+            san: vec![SanEntry::Wildcard(zone)],
             issuer: Issuer::lets_encrypt(),
             not_before: Instant::EPOCH,
             not_after: Instant::EPOCH + Duration::from_days(90),
@@ -280,7 +279,7 @@ proptest! {
             answer_size,
             epoch: Duration::from_mins(30),
         };
-        let domain = domain_universe()[domain_index].clone();
+        let domain = domain_universe()[domain_index];
         let ctx = QueryContext::new(
             ResolverId(resolver),
             Vantage::Europe,
