@@ -53,18 +53,31 @@ impl fmt::Debug for AutonomousSystem {
 /// The registry: which prefixes belong to which AS, plus an allocator that
 /// hands out fresh /24s to operators as the population generator builds the
 /// hosting landscape.
+///
+/// A registry can be *layered* over a shared immutable base
+/// ([`AsRegistry::with_base`]): allocation continues where the base stopped
+/// (so prefixes stay distinct and identical to a monolithic build) and
+/// lookups consult both layers.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct AsRegistry {
     /// Announced prefixes, keyed by base address (all /24 or shorter).
     announcements: BTreeMap<Prefix, AutonomousSystem>,
     /// Next /16 block index used by [`AsRegistry::allocate_slash24`].
     next_block: u32,
+    /// Shared read-only announcements consulted on lookup misses.
+    base: Option<std::sync::Arc<AsRegistry>>,
 }
 
 impl AsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         AsRegistry::default()
+    }
+
+    /// An empty registry layered over a shared base: the /24 allocator
+    /// continues at the base's next block, lookups fall back to the base.
+    pub fn with_base(base: std::sync::Arc<AsRegistry>) -> Self {
+        AsRegistry { announcements: BTreeMap::new(), next_block: base.next_block, base: Some(base) }
     }
 
     /// Announce `prefix` as belonging to `system`.
@@ -89,13 +102,24 @@ impl AsRegistry {
     }
 
     /// Longest-prefix match: the AS announcing the most specific prefix
-    /// containing `ip`.
+    /// containing `ip`, across this layer and any shared base.
     pub fn lookup(&self, ip: IpAddr) -> Option<&AutonomousSystem> {
-        self.announcements
+        self.best_match(ip).map(|(_, system)| system)
+    }
+
+    /// The most specific matching announcement in this layer or its base
+    /// (comparing prefix lengths across layers, like a monolithic registry).
+    fn best_match(&self, ip: IpAddr) -> Option<(&Prefix, &AutonomousSystem)> {
+        let local = self
+            .announcements
             .iter()
             .filter(|(prefix, _)| prefix.contains(ip))
-            .max_by_key(|(prefix, _)| prefix.len())
-            .map(|(_, system)| system)
+            .max_by_key(|(prefix, _)| prefix.len());
+        let base = self.base.as_ref().and_then(|base| base.best_match(ip));
+        match (local, base) {
+            (Some(local), Some(base)) => Some(if local.0.len() >= base.0.len() { local } else { base }),
+            (hit, None) | (None, hit) => hit,
+        }
     }
 
     /// Number of announced prefixes.

@@ -181,6 +181,52 @@ fn bench_aggregation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The visit engine itself: the pre-scratch batch pipeline (owned
+/// `PageVisit` → observation → classification) against the zero-allocation
+/// scratch fast path (`visit_site_into` → `FastVisitClassifier`). The ratio
+/// is the per-visit win the atlas throughput target is built on.
+fn bench_visit_paths(c: &mut Criterion) {
+    use connreuse_core::{classify_site, site_from_visit, FastVisitClassifier};
+    use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
+
+    let env = bench_environment();
+    let crawler = Crawler::new("bench", BrowserConfig::alexa_measurement(), 0xC0FFEE);
+
+    let mut group = c.benchmark_group("atlas");
+    group.sample_size(20);
+
+    group.bench_function("visit_legacy_batch_pipeline", |b| {
+        b.iter(|| {
+            let mut accumulator = Accumulator::new();
+            for index in 0..env.sites.len() {
+                let visit = crawler.visit_site(&env, index);
+                accumulator.observe(&classify_site(&site_from_visit(&visit), DurationModel::Recorded));
+            }
+            black_box(accumulator.finish("legacy"))
+        })
+    });
+
+    group.bench_function("visit_scratch_fast_path", |b| {
+        let mut scratch = VisitScratch::without_netlog();
+        let mut classifier = FastVisitClassifier::new();
+        b.iter(|| {
+            let mut accumulator = Accumulator::new();
+            for index in 0..env.sites.len() {
+                let _ = crawler.visit_site_into(&mut scratch, &env, index);
+                let counts = connreuse_experiments::atlas::classify_scratch(
+                    &mut classifier,
+                    &scratch,
+                    DurationModel::Recorded,
+                );
+                accumulator.observe_counts(&counts);
+            }
+            black_box(accumulator.finish("fast"))
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_atlas_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("atlas");
     group.sample_size(10);
@@ -198,5 +244,5 @@ fn bench_atlas_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_aggregation, bench_atlas_end_to_end);
+criterion_group!(benches, bench_aggregation, bench_visit_paths, bench_atlas_end_to_end);
 criterion_main!(benches);

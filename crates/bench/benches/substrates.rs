@@ -24,14 +24,16 @@ fn bench_dns_resolution(c: &mut Criterion) {
         b.iter(|| {
             let mut resolver =
                 RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
-            black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap())
+            black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap().primary_address())
         })
     });
     group.bench_function("resolve_cached", |b| {
         let mut resolver =
             RecursiveResolver::new(ResolverConfig::new(ResolverId(1), Vantage::Europe, "bench"));
         resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap();
-        b.iter(|| black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap()))
+        b.iter(|| {
+            black_box(resolver.resolve(&env.authority, &analytics, Instant::EPOCH).unwrap().primary_address())
+        })
     });
     group.finish();
 }
@@ -42,7 +44,7 @@ fn bench_reuse_predicate(c: &mut Criterion) {
         (0..50).map(|i| DomainName::literal(&format!("host-{i}.example.com"))).collect();
     let ids =
         store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &domains, Instant::EPOCH);
-    let certificate = store.get(ids[0]).unwrap().clone();
+    let certificate = std::sync::Arc::clone(store.get_arc(ids[0]).unwrap());
     let connection = Connection::establish(
         ConnectionId(1),
         Origin::https(domains[0]),
@@ -142,7 +144,7 @@ fn bench_mitigation_sweep(c: &mut Criterion) {
         ConnectionId(1),
         Origin::https(domains[0]),
         IpAddr::new(10, 0, 0, 1),
-        store.get(ids[0]).unwrap().clone(),
+        std::sync::Arc::clone(store.get_arc(ids[0]).unwrap()),
         true,
         Instant::EPOCH,
         Settings::default(),

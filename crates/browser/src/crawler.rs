@@ -10,6 +10,7 @@
 
 use crate::config::BrowserConfig;
 use crate::loader::Browser;
+use crate::scratch::{VisitScratch, VisitTimes};
 use crate::visit::PageVisit;
 use netsim_types::{Duration, Instant, SimClock, SimRng};
 use netsim_web::WebEnvironment;
@@ -78,8 +79,10 @@ impl Crawler {
         visits.resize_with(site_count, || None);
 
         if self.threads <= 1 || site_count < 2 {
+            let mut scratch = VisitScratch::new();
             for (index, slot) in visits.iter_mut().enumerate() {
-                *slot = Some(self.visit_site(env, index));
+                let times = self.visit_site_into(&mut scratch, env, index);
+                *slot = Some(scratch.to_page_visit(&env.sites[index], times));
             }
         } else {
             let threads = self.threads.min(site_count);
@@ -89,8 +92,11 @@ impl Crawler {
                 for (chunk_index, slot) in chunks.into_iter().enumerate() {
                     let start = chunk_index * chunk;
                     scope.spawn(move || {
+                        let mut scratch = VisitScratch::new();
                         for (offset, out) in slot.iter_mut().enumerate() {
-                            *out = Some(self.visit_site(env, start + offset));
+                            let index = start + offset;
+                            let times = self.visit_site_into(&mut scratch, env, index);
+                            *out = Some(scratch.to_page_visit(&env.sites[index], times));
                         }
                     });
                 }
@@ -112,13 +118,29 @@ impl Crawler {
     /// scale scenario) this keeps every visit byte-identical to the one a
     /// single giant environment would produce.
     pub fn visit_site(&self, env: &WebEnvironment, index: usize) -> PageVisit {
+        let mut scratch = VisitScratch::new();
+        let times = self.visit_site_into(&mut scratch, env, index);
+        scratch.to_page_visit(&env.sites[index], times)
+    }
+
+    /// Visit one site into a reusable per-worker scratch — the
+    /// zero-allocation form of [`Crawler::visit_site`]. The visit's
+    /// connections, requests and (if the scratch records one) NetLog are left
+    /// in `scratch`; the returned [`VisitTimes`] carries the start/finish
+    /// instants.
+    pub fn visit_site_into(
+        &self,
+        scratch: &mut VisitScratch,
+        env: &WebEnvironment,
+        index: usize,
+    ) -> VisitTimes {
         let site = &env.sites[index];
         let global = site.id.value();
         let start = Instant::EPOCH + Duration::from_secs(self.config.visit_spacing_secs * global);
         let mut clock = SimClock::starting_at(start);
         let mut browser = Browser::with_id_base(self.config.clone(), global * ID_STRIDE);
         let mut rng = SimRng::new(self.seed).fork_indexed("visit", global);
-        browser.load_page(env, site, &mut clock, &mut rng)
+        browser.load_page_into(scratch, env, site, &mut clock, &mut rng)
     }
 }
 

@@ -25,14 +25,21 @@
 //! a population (optionally in parallel), producing the dataset the analysis
 //! core ingests.
 
+// The zero-allocation visit fast path made these hot paths clone-free;
+// keep them that way.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod config;
 pub mod crawler;
 pub mod loader;
 pub mod netlog;
+pub mod scratch;
 pub mod visit;
 
 pub use config::{BrowserConfig, ConnectionDurationModel};
 pub use crawler::{CrawlReport, Crawler};
 pub use loader::Browser;
 pub use netlog::{NetLog, NetLogEvent, NetLogEventKind};
+pub use scratch::{ScratchRequest, VisitScratch, VisitTimes};
 pub use visit::{PageVisit, RequestLogEntry};

@@ -1,14 +1,16 @@
 //! The page loader: Chromium's session pool + coalescing + Fetch partition.
 
 use crate::config::{BrowserConfig, ConnectionDurationModel};
-use crate::netlog::{NetLog, NetLogEventKind};
-use crate::visit::{PageVisit, RequestLogEntry};
+use crate::netlog::NetLogEventKind;
+use crate::scratch::{ScratchRequest, VisitScratch, VisitTimes};
+use crate::visit::PageVisit;
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
-use netsim_fetch::{partition_for, FetchRequest};
-use netsim_h2::reuse::{evaluate, ReuseDecision};
+use netsim_fetch::partition_for_planned;
+use netsim_h2::reuse::evaluate_set;
 use netsim_h2::{Connection, Settings};
 use netsim_types::{ConnectionId, Duration, IdAllocator, Instant, Origin, RequestId, SimClock, SimRng};
 use netsim_web::{PlannedRequest, WebEnvironment, Website};
+use std::sync::Arc;
 
 /// A browser instance. One instance is used per page visit (caches are reset
 /// between visits, per the measurement methodology); identifier allocators
@@ -45,6 +47,11 @@ impl Browser {
     ///
     /// `clock` supplies (and is advanced past) the simulated wall-clock time
     /// of the visit; `rng` drives connection-lifetime sampling.
+    ///
+    /// This is the compatibility entry point: it runs the visit through a
+    /// throwaway [`VisitScratch`] and materialises an owned [`PageVisit`].
+    /// Workers that process many visits should hold one scratch and call
+    /// [`Browser::load_page_into`] instead.
     pub fn load_page(
         &mut self,
         env: &WebEnvironment,
@@ -52,43 +59,47 @@ impl Browser {
         clock: &mut SimClock,
         rng: &mut SimRng,
     ) -> PageVisit {
+        let mut scratch = VisitScratch::new();
+        let times = self.load_page_into(&mut scratch, env, site, clock, rng);
+        scratch.to_page_visit(site, times)
+    }
+
+    /// Load one site's landing page into a reusable [`VisitScratch`].
+    ///
+    /// Behaviourally identical to [`Browser::load_page`] — same connections,
+    /// requests, ids, clock advancement and (if enabled) NetLog events — but
+    /// all visit state lands in `scratch`'s recycled buffers. In the steady
+    /// state this performs zero heap allocations per visit.
+    pub fn load_page_into(
+        &mut self,
+        scratch: &mut VisitScratch,
+        env: &WebEnvironment,
+        site: &Website,
+        clock: &mut SimClock,
+        rng: &mut SimRng,
+    ) -> VisitTimes {
         let started_at = clock.now();
         let deadline = started_at + self.config.page_timeout;
-        let mut netlog = NetLog::new();
-        netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
-
-        // Fresh resolver per visit: browser and OS caches are reset between
-        // visits, so only in-visit reuse of DNS answers happens.
-        let mut resolver = RecursiveResolver::new(ResolverConfig::new(
-            self.config.resolver,
-            self.config.vantage,
-            "measurement-resolver",
-        ));
+        // Caches are reset between visits (only in-visit DNS reuse happens);
+        // the scratch flushes rather than drops the resolver.
+        scratch.begin_visit(self.config.resolver, self.config.vantage);
+        if scratch.netlog_enabled() {
+            scratch.netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
+        }
 
         let document_origin = Origin::https(site.domain);
         let rtt = Duration::from_millis(self.config.base_rtt_ms);
-        let mut connections: Vec<Connection> = Vec::new();
-        let mut requests: Vec<RequestLogEntry> = Vec::new();
         let mut finished_at = started_at;
 
-        for planned in &site.plan {
+        for (plan_index, planned) in site.plan.iter().enumerate() {
             if clock.now() > deadline {
                 break;
             }
-            let outcome = self.fetch_one(
-                env,
-                &mut resolver,
-                &document_origin,
-                planned,
-                &mut connections,
-                clock,
-                &mut netlog,
-                rtt,
-            );
+            let outcome = self.fetch_one(scratch, env, &document_origin, planned, plan_index, clock, rtt);
             if let Some(entry) = outcome {
                 finished_at =
                     finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
-                requests.push(entry);
+                scratch.requests.push(entry);
             }
         }
 
@@ -96,61 +107,60 @@ impl Browser {
         if let ConnectionDurationModel::IdleTimeouts { close_probability, median_lifetime_secs } =
             self.config.duration_model
         {
-            for connection in &mut connections {
+            let netlog_enabled = scratch.netlog_enabled();
+            let (connections, netlog) = scratch.connections_and_netlog_mut();
+            for connection in connections.iter_mut() {
                 if rng.chance(close_probability) {
                     let factor = 0.5 + rng.unit() * 1.5; // 0.5x .. 2.0x the median
                     let lifetime =
                         Duration::from_millis((median_lifetime_secs as f64 * 1000.0 * factor) as u64);
                     let closed_at = connection.established_at + lifetime;
                     connection.close(closed_at);
-                    netlog.record(closed_at, NetLogEventKind::ConnectionClosed { connection: connection.id });
+                    if netlog_enabled {
+                        netlog.record(
+                            closed_at,
+                            NetLogEventKind::ConnectionClosed { connection: connection.id },
+                        );
+                    }
                 }
             }
         }
 
-        netlog.record(finished_at, NetLogEventKind::PageLoadFinished { requests: requests.len() });
-        PageVisit {
-            site: site.id,
-            landing_domain: site.domain,
-            started_at,
-            finished_at,
-            connections,
-            requests,
-            netlog,
+        if scratch.netlog_enabled() {
+            scratch
+                .netlog
+                .record(finished_at, NetLogEventKind::PageLoadFinished { requests: scratch.requests.len() });
         }
+        VisitTimes { started_at, finished_at }
     }
 
     /// Fetch a single planned request, reusing or opening connections.
     #[allow(clippy::too_many_arguments)]
     fn fetch_one(
         &mut self,
+        scratch: &mut VisitScratch,
         env: &WebEnvironment,
-        resolver: &mut RecursiveResolver,
         document_origin: &Origin,
         planned: &PlannedRequest,
-        connections: &mut Vec<Connection>,
+        plan_index: usize,
         clock: &mut SimClock,
-        netlog: &mut NetLog,
         rtt: Duration,
-    ) -> Option<RequestLogEntry> {
+    ) -> Option<ScratchRequest> {
         let target_origin = Origin::https(planned.domain);
-        let mut fetch_request =
-            FetchRequest::with_defaults(target_origin, &planned.path, *document_origin, planned.destination);
-        if planned.anonymous {
-            fetch_request = fetch_request.anonymous();
-        }
         // The session-pool key ("privacy mode"): which partition the request
         // lands in. Policies that pool credentials still see the partition
         // here — they ignore it inside the RFC 7540 check instead
         // (`ReusePolicy::follow_fetch_credentials`), like the paper's patch.
-        let credentialed = partition_for(&fetch_request).is_credentialed();
+        let credentialed =
+            partition_for_planned(&target_origin, document_origin, planned.destination, planned.anonymous)
+                .is_credentialed();
 
         // Small per-request pacing so establishment order is well defined.
         clock.advance(Duration::from_millis(2));
 
         // 1. Direct session-pool hit: same origin, same credentials partition.
         let mut chosen: Option<usize> = None;
-        for (index, connection) in connections.iter().enumerate() {
+        for (index, connection) in scratch.connections.iter().enumerate() {
             if connection.initial_origin == target_origin
                 && connection.credentialed == credentialed
                 && connection.can_open_stream()
@@ -163,39 +173,61 @@ impl Browser {
 
         // 2. Coalescing: resolve the host and run the RFC 7540 §9.1.1 check
         //    against every live session.
-        let answer = match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
-            Ok(answer) => answer,
-            Err(_) => {
-                netlog.record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain });
-                return None;
+        let target_ip = {
+            let netlog_enabled = scratch.netlog_enabled();
+            let resolver = scratch.resolver_mut();
+            match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
+                Ok(answer) => {
+                    let target_ip = answer.primary_address();
+                    if netlog_enabled {
+                        let addresses = answer.addresses.clone();
+                        scratch.netlog.record(
+                            clock.now(),
+                            NetLogEventKind::DnsResolved { domain: planned.domain, addresses },
+                        );
+                    }
+                    target_ip?
+                }
+                Err(_) => {
+                    if netlog_enabled {
+                        scratch
+                            .netlog
+                            .record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain });
+                    }
+                    return None;
+                }
             }
         };
-        netlog.record(
-            clock.now(),
-            NetLogEventKind::DnsResolved { domain: planned.domain, addresses: answer.addresses.clone() },
-        );
-        let target_ip = answer.primary_address()?;
 
         if chosen.is_none() {
-            let mut refusals = Vec::new();
-            for (index, connection) in connections.iter().enumerate() {
+            scratch.refusals.clear();
+            for (index, connection) in scratch.connections.iter().enumerate() {
                 if !connection.is_open_at(clock.now()) {
                     continue;
                 }
-                match evaluate(connection, &target_origin, target_ip, credentialed, &self.config.reuse_policy)
-                {
-                    ReuseDecision::Reusable => {
-                        chosen = Some(index);
-                        break;
-                    }
-                    ReuseDecision::Refused(reasons) => refusals.push((connection.id, reasons)),
+                let refusals = evaluate_set(
+                    connection,
+                    &target_origin,
+                    target_ip,
+                    credentialed,
+                    &self.config.reuse_policy,
+                );
+                if refusals.is_empty() {
+                    chosen = Some(index);
+                    break;
                 }
+                scratch.refusals.push((connection.id, refusals));
             }
-            if chosen.is_none() {
-                for (connection, reasons) in refusals {
-                    netlog.record(
+            if chosen.is_none() && scratch.netlog_enabled() {
+                for index in 0..scratch.refusals.len() {
+                    let (connection, reasons) = scratch.refusals[index];
+                    scratch.netlog.record(
                         clock.now(),
-                        NetLogEventKind::ReuseRefused { connection, domain: planned.domain, reasons },
+                        NetLogEventKind::ReuseRefused {
+                            connection,
+                            domain: planned.domain,
+                            reasons: reasons.to_vec(),
+                        },
                     );
                 }
             }
@@ -204,51 +236,69 @@ impl Browser {
         // 3. Open a new session when nothing qualified.
         let index = match chosen {
             Some(index) => {
-                netlog.record(
-                    clock.now(),
-                    NetLogEventKind::ConnectionReused {
-                        connection: connections[index].id,
-                        domain: planned.domain,
-                    },
-                );
+                if scratch.netlog_enabled() {
+                    scratch.netlog.record(
+                        clock.now(),
+                        NetLogEventKind::ConnectionReused {
+                            connection: scratch.connections[index].id,
+                            domain: planned.domain,
+                        },
+                    );
+                }
                 index
             }
             None => {
-                let certificate = env
-                    .certificate_for(&planned.domain)
-                    .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain))
-                    .clone();
+                let certificate = Arc::clone(
+                    env.certificate_arc_for(&planned.domain)
+                        .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain)),
+                );
                 clock.advance(self.config.handshake.setup_latency(rtt));
                 let id: ConnectionId = self.connection_ids.issue_as();
-                let mut connection = Connection::establish(
-                    id,
-                    target_origin,
-                    target_ip,
-                    certificate,
-                    credentialed,
-                    clock.now(),
-                    Settings::default(),
-                );
+                let mut connection = match scratch.take_shell() {
+                    Some(mut shell) => {
+                        shell.reestablish(
+                            id,
+                            target_origin,
+                            target_ip,
+                            certificate,
+                            credentialed,
+                            clock.now(),
+                            Settings::default(),
+                        );
+                        shell
+                    }
+                    None => Connection::establish(
+                        id,
+                        target_origin,
+                        target_ip,
+                        certificate,
+                        credentialed,
+                        clock.now(),
+                        Settings::default(),
+                    ),
+                };
                 if self.config.servers_announce_origin_sets {
                     let origins: Vec<_> = connection.certificate.dns_names().into_iter().cloned().collect();
                     connection.receive_origin_set(origins);
                 }
-                netlog.record(
-                    clock.now(),
-                    NetLogEventKind::ConnectionEstablished {
-                        connection: id,
-                        domain: planned.domain,
-                        ip: target_ip,
-                        credentialed,
-                    },
-                );
-                connections.push(connection);
-                connections.len() - 1
+                if scratch.netlog_enabled() {
+                    scratch.netlog.record(
+                        clock.now(),
+                        NetLogEventKind::ConnectionEstablished {
+                            connection: id,
+                            domain: planned.domain,
+                            ip: target_ip,
+                            credentialed,
+                        },
+                    );
+                }
+                scratch.connections.push(connection);
+                scratch.connections.len() - 1
             }
         };
 
         let cookie = if credentialed { Some("sid=0123456789abcdef") } else { None };
-        let connection = &mut connections[index];
+        let connection = &mut scratch.connections[index];
         let stream = match connection.send_request(&planned.domain, &planned.path, cookie) {
             Ok(stream) => stream,
             Err(_) => return None,
@@ -257,28 +307,37 @@ impl Browser {
         connection
             .complete_response(stream, &planned.domain, status, planned.body_size)
             .expect("stream was just opened");
+        if status != 200 {
+            scratch.any_non_ok = true;
+        }
 
         let request_id: RequestId = self.request_ids.issue_as();
         let connection_id = connection.id;
-        netlog.record(
-            clock.now(),
-            NetLogEventKind::RequestSent {
-                request: request_id,
-                connection: connection_id,
-                domain: planned.domain,
-                path: planned.path.clone(),
-            },
-        );
-        netlog.record(
-            clock.now() + rtt,
-            NetLogEventKind::ResponseCompleted { request: request_id, status, body_size: planned.body_size },
-        );
+        if scratch.netlog_enabled() {
+            scratch.netlog.record(
+                clock.now(),
+                NetLogEventKind::RequestSent {
+                    request: request_id,
+                    connection: connection_id,
+                    domain: planned.domain,
+                    path: planned.path.to_string(),
+                },
+            );
+            scratch.netlog.record(
+                clock.now() + rtt,
+                NetLogEventKind::ResponseCompleted {
+                    request: request_id,
+                    status,
+                    body_size: planned.body_size,
+                },
+            );
+        }
 
-        Some(RequestLogEntry {
+        Some(ScratchRequest {
             id: request_id,
             connection: connection_id,
             domain: planned.domain,
-            path: planned.path.clone(),
+            plan_index: plan_index as u32,
             destination: planned.destination,
             credentialed,
             status,
@@ -309,6 +368,7 @@ pub fn resolve_once(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crawler::Crawler;
     use netsim_types::DomainName;
     use netsim_web::{PopulationBuilder, PopulationProfile};
 
@@ -493,5 +553,47 @@ mod tests {
         let env = environment(10, 8);
         let v = visit(&env, 1, BrowserConfig::http_archive_crawler());
         assert!(v.connections.iter().all(|c| c.closed_at.is_none()));
+    }
+
+    #[test]
+    fn connections_share_the_stores_certificate_allocation() {
+        // The SAN-clone fix: presenting a certificate hands the connection a
+        // shared handle into the environment's store — never a copy of the
+        // SAN list. Every connection's certificate must be pointer-identical
+        // to the store's.
+        let env = environment(15, 9);
+        for index in 0..env.sites.len() {
+            let v = visit(&env, index, BrowserConfig::alexa_measurement());
+            for connection in &v.connections {
+                let stored = env
+                    .certificate_arc_for(connection.initial_domain())
+                    .expect("store has a certificate for every contacted domain");
+                assert!(
+                    std::sync::Arc::ptr_eq(&connection.certificate, stored),
+                    "connection to {} cloned its certificate instead of sharing it",
+                    connection.initial_domain()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_and_legacy_paths_produce_identical_visits() {
+        // `load_page` is defined as materialising the scratch fast path; an
+        // explicit reusable scratch must reproduce it byte for byte,
+        // including the NetLog, across several sites sharing one scratch.
+        let env = environment(12, 10);
+        let crawler = Crawler::new("compat", BrowserConfig::alexa_measurement(), 5);
+        let mut scratch = VisitScratch::new();
+        for index in 0..env.sites.len() {
+            let legacy = crawler.visit_site(&env, index);
+            let times = crawler.visit_site_into(&mut scratch, &env, index);
+            let fast = scratch.to_page_visit(&env.sites[index], times);
+            assert_eq!(legacy.requests, fast.requests);
+            assert_eq!(legacy.connections, fast.connections);
+            assert_eq!(legacy.netlog, fast.netlog);
+            assert_eq!(legacy.started_at, fast.started_at);
+            assert_eq!(legacy.finished_at, fast.finished_at);
+        }
     }
 }

@@ -116,6 +116,12 @@ impl NetLog {
         self.events.push(NetLogEvent { time, kind });
     }
 
+    /// Drop all events, retaining the buffer's capacity (used when a visit
+    /// scratch is recycled between page loads).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// All events in append order.
     pub fn events(&self) -> &[NetLogEvent] {
         &self.events

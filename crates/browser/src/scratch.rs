@@ -1,0 +1,197 @@
+//! Per-worker visit scratch: the reusable buffers behind the
+//! zero-allocation page-load fast path.
+//!
+//! A crawl worker processes thousands of page visits back to back, and the
+//! original loader paid an allocation storm for each one: fresh
+//! `Vec<Connection>` / request-log vectors, a fresh DNS resolver with a fresh
+//! cache, a cloned certificate per connection and a freshly allocated HPACK
+//! table per connection. [`VisitScratch`] owns all of those buffers once per
+//! worker and recycles them between visits:
+//!
+//! * connections opened by a visit become pooled *shells*
+//!   ([`netsim_h2::Connection::reestablish`]) whose stream tables and HPACK
+//!   dictionaries keep their heap capacity,
+//! * the request log is a vector of copyable [`ScratchRequest`] records (the
+//!   resource path stays in the site's plan and is only materialised when a
+//!   full [`PageVisit`] is needed),
+//! * the recursive resolver is flushed — not dropped — between visits, so
+//!   its cache lines recycle their answer buffers,
+//! * NetLog recording is optional: the measurement-compatible path keeps it,
+//!   the streaming classification path turns it off.
+//!
+//! In the steady state (after buffers have grown to the hot set's high-water
+//! mark) a page visit through [`crate::Browser::load_page_into`] performs
+//! **zero heap allocations** — asserted by a counting-allocator test in
+//! `crates/browser/tests/zero_alloc.rs`.
+
+use crate::netlog::NetLog;
+use crate::visit::{PageVisit, RequestLogEntry};
+use netsim_dns::{RecursiveResolver, ResolverConfig, ResolverId, Vantage};
+use netsim_fetch::RequestDestination;
+use netsim_h2::reuse::RefusalSet;
+use netsim_h2::Connection;
+use netsim_types::{ConnectionId, DomainName, Instant, RequestId};
+use netsim_web::Website;
+
+/// One request as the fast path logs it: everything
+/// [`crate::visit::RequestLogEntry`] carries except the path, which stays in
+/// the site plan (`plan_index`) so the record is `Copy` and the hot loop
+/// never clones a string.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScratchRequest {
+    /// Request id (unique within the crawl).
+    pub id: RequestId,
+    /// The HTTP/2 session that carried the request.
+    pub connection: ConnectionId,
+    /// Target host.
+    pub domain: DomainName,
+    /// Index of the planned request in the site's plan (for the path).
+    pub plan_index: u32,
+    /// Resource kind.
+    pub destination: RequestDestination,
+    /// Whether credentials were included.
+    pub credentialed: bool,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Response body size in octets.
+    pub body_size: u64,
+    /// When the request was sent.
+    pub started_at: Instant,
+}
+
+/// When the visit started and finished (the only per-visit scalars the fast
+/// path returns; everything else lives in the scratch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VisitTimes {
+    /// When the visit started.
+    pub started_at: Instant,
+    /// When the last response completed.
+    pub finished_at: Instant,
+}
+
+/// The per-worker scratch arena. See the module docs.
+#[derive(Debug, Default)]
+pub struct VisitScratch {
+    /// Sessions opened by the current visit, in establishment order.
+    pub(crate) connections: Vec<Connection>,
+    /// Recycled connection shells awaiting re-establishment.
+    shells: Vec<Connection>,
+    /// Requests sent by the current visit, in send order.
+    pub(crate) requests: Vec<ScratchRequest>,
+    /// Per-request buffer of refused reuse candidates.
+    pub(crate) refusals: Vec<(ConnectionId, RefusalSet)>,
+    /// The current visit's event log (empty while disabled).
+    pub(crate) netlog: NetLog,
+    netlog_enabled: bool,
+    /// The reusable resolver; rebuilt only when the config identity changes.
+    resolver: Option<RecursiveResolver>,
+    /// `true` if any response of the current visit had a non-200 status —
+    /// the streaming classifier falls back to the full path then.
+    pub(crate) any_non_ok: bool,
+}
+
+impl VisitScratch {
+    /// A scratch with NetLog recording enabled (the measurement-compatible
+    /// default: materialised [`PageVisit`]s carry the full event log).
+    pub fn new() -> Self {
+        VisitScratch { netlog_enabled: true, ..VisitScratch::default() }
+    }
+
+    /// A scratch with NetLog recording disabled — the streaming
+    /// classification path, where the event log would be dropped unread and
+    /// its per-event allocations (answer address lists, request paths) would
+    /// break the zero-allocation property.
+    pub fn without_netlog() -> Self {
+        VisitScratch { netlog_enabled: false, ..VisitScratch::default() }
+    }
+
+    /// `true` if this scratch records NetLog events.
+    pub fn netlog_enabled(&self) -> bool {
+        self.netlog_enabled
+    }
+
+    /// Prepare for the next visit: recycle the previous visit's connections
+    /// into shells, clear the logs and flush (not drop) the resolver cache.
+    pub(crate) fn begin_visit(&mut self, resolver: ResolverId, vantage: Vantage) {
+        self.shells.append(&mut self.connections);
+        self.requests.clear();
+        self.refusals.clear();
+        self.netlog.clear();
+        self.any_non_ok = false;
+        let rebuild = match &self.resolver {
+            Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
+            None => true,
+        };
+        if rebuild {
+            self.resolver =
+                Some(RecursiveResolver::new(ResolverConfig::new(resolver, vantage, "measurement-resolver")));
+        }
+        self.resolver.as_mut().expect("resolver just ensured").flush_cache();
+    }
+
+    /// The reusable resolver (valid after [`VisitScratch::begin_visit`]).
+    pub(crate) fn resolver_mut(&mut self) -> &mut RecursiveResolver {
+        self.resolver.as_mut().expect("begin_visit initialises the resolver")
+    }
+
+    /// Take a recycled connection shell, if one is available.
+    pub(crate) fn take_shell(&mut self) -> Option<Connection> {
+        self.shells.pop()
+    }
+
+    /// Split borrows of the connection list and the NetLog (the
+    /// duration-model pass mutates connections while recording close
+    /// events).
+    pub(crate) fn connections_and_netlog_mut(&mut self) -> (&mut Vec<Connection>, &mut NetLog) {
+        (&mut self.connections, &mut self.netlog)
+    }
+
+    /// Sessions opened by the current visit, in establishment order.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Requests sent by the current visit, in send order.
+    pub fn requests(&self) -> &[ScratchRequest] {
+        &self.requests
+    }
+
+    /// The current visit's event log (empty when recording is disabled).
+    pub fn netlog(&self) -> &NetLog {
+        &self.netlog
+    }
+
+    /// `true` if every response of the current visit had status 200.
+    pub fn all_ok(&self) -> bool {
+        !self.any_non_ok
+    }
+
+    /// Materialise the current scratch state into an owned [`PageVisit`] —
+    /// byte-identical to what the pre-scratch loader produced. `site` must be
+    /// the site the visit loaded (its plan supplies the request paths).
+    pub fn to_page_visit(&self, site: &Website, times: VisitTimes) -> PageVisit {
+        PageVisit {
+            site: site.id,
+            landing_domain: site.domain,
+            started_at: times.started_at,
+            finished_at: times.finished_at,
+            connections: self.connections.clone(),
+            requests: self
+                .requests
+                .iter()
+                .map(|request| RequestLogEntry {
+                    id: request.id,
+                    connection: request.connection,
+                    domain: request.domain,
+                    path: site.plan[request.plan_index as usize].path.to_string(),
+                    destination: request.destination,
+                    credentialed: request.credentialed,
+                    status: request.status,
+                    body_size: request.body_size,
+                    started_at: request.started_at,
+                })
+                .collect(),
+            netlog: self.netlog.clone(),
+        }
+    }
+}

@@ -35,16 +35,48 @@ impl CauseCounts {
     }
 }
 
+/// Per-site cause totals in the fixed [`Cause::ALL`] order — the compact,
+/// allocation-free form the streaming fast path
+/// ([`crate::FastVisitClassifier`]) produces and
+/// [`Accumulator::observe_counts`] folds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCounts {
+    /// Total HTTP/2 connections the site opened.
+    pub total_connections: usize,
+    /// Connections with at least one cause.
+    pub redundant_connections: usize,
+    /// Connections per cause, indexed by [`Cause::index`].
+    pub cause_connections: [usize; 3],
+}
+
+impl SiteCounts {
+    /// The counts a [`SiteClassification`] reduces to.
+    pub fn from_classification(classification: &SiteClassification) -> Self {
+        let mut cause_connections = [0usize; 3];
+        for (index, cause) in Cause::ALL.iter().enumerate() {
+            cause_connections[index] = classification.connections_with_cause(*cause);
+        }
+        SiteCounts {
+            total_connections: classification.total_connections,
+            redundant_connections: classification.redundant_connections(),
+            cause_connections,
+        }
+    }
+}
+
 /// A streaming, shard-mergeable aggregator of site classifications.
 ///
 /// One accumulator per worker shard; observe each classification as soon as
 /// it is produced, drop the classification, and merge the shards afterwards.
 /// Every counter is additive over disjoint site sets, so the merge order
-/// never changes the outcome.
+/// never changes the outcome. The per-cause counters live in a fixed array
+/// (indexed by [`Cause::index`]) so the per-site fold is a handful of integer
+/// adds; the table-ordered `BTreeMap` of [`DatasetSummary`] is built once in
+/// [`Accumulator::finish`].
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Accumulator {
-    /// Per-cause counts (all causes pre-inserted in table order).
-    causes: BTreeMap<Cause, CauseCounts>,
+    /// Per-cause counts in [`Cause::ALL`] order.
+    causes: [CauseCounts; 3],
     /// Sites with ≥1 redundant connection / total redundant connections.
     redundant: CauseCounts,
     /// HTTP/2 sites / HTTP/2 connections.
@@ -55,8 +87,7 @@ pub struct Accumulator {
 }
 
 impl Default for Accumulator {
-    /// Same as [`Accumulator::new`] — the causes map is pre-inserted so the
-    /// "all causes present" invariant holds for every construction path.
+    /// Same as [`Accumulator::new`].
     fn default() -> Self {
         Accumulator::new()
     }
@@ -66,7 +97,7 @@ impl Accumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
         Accumulator {
-            causes: Cause::ALL.iter().map(|c| (*c, CauseCounts::default())).collect(),
+            causes: [CauseCounts::default(); 3],
             redundant: CauseCounts::default(),
             total: CauseCounts::default(),
             observed_sites: 0,
@@ -75,22 +106,26 @@ impl Accumulator {
 
     /// Fold one site's classification into the running counts.
     pub fn observe(&mut self, classification: &SiteClassification) {
+        self.observe_counts(&SiteCounts::from_classification(classification));
+    }
+
+    /// Fold one site's reduced counts into the running totals — the
+    /// allocation-free fold behind [`Accumulator::observe`], fed directly by
+    /// the streaming visit classifier.
+    pub fn observe_counts(&mut self, counts: &SiteCounts) {
         self.observed_sites += 1;
         // Sites that never opened an HTTP/2 connection are outside the
         // analysis population (Table 1 counts only HTTP/2 sites).
-        if classification.total_connections == 0 {
+        if counts.total_connections == 0 {
             return;
         }
         self.total.sites += 1;
-        self.total.connections += classification.total_connections;
-        let site_redundant = classification.redundant_connections();
-        if site_redundant > 0 {
+        self.total.connections += counts.total_connections;
+        if counts.redundant_connections > 0 {
             self.redundant.sites += 1;
         }
-        self.redundant.connections += site_redundant;
-        for cause in Cause::ALL {
-            let count = classification.connections_with_cause(cause);
-            let entry = self.causes.get_mut(&cause).expect("all causes pre-inserted");
+        self.redundant.connections += counts.redundant_connections;
+        for (entry, count) in self.causes.iter_mut().zip(counts.cause_connections) {
             entry.connections += count;
             if count > 0 {
                 entry.sites += 1;
@@ -102,9 +137,8 @@ impl Accumulator {
     /// order-insensitive: any merge tree over per-shard accumulators equals
     /// the batch pass over all classifications.
     pub fn merge(&mut self, other: &Accumulator) {
-        for cause in Cause::ALL {
-            let theirs = other.causes.get(&cause).copied().unwrap_or_default();
-            self.causes.get_mut(&cause).expect("all causes pre-inserted").absorb(theirs);
+        for (entry, theirs) in self.causes.iter_mut().zip(other.causes) {
+            entry.absorb(theirs);
         }
         self.redundant.absorb(other.redundant);
         self.total.absorb(other.total);
@@ -116,11 +150,14 @@ impl Accumulator {
         self.observed_sites
     }
 
-    /// Finish the stream: the dataset summary under `label`.
+    /// Finish the stream: the dataset summary under `label`. The per-cause
+    /// array is materialised into the table-ordered map here, once, so the
+    /// summary (and every report rendered from it) is byte-identical to the
+    /// pre-array implementation.
     pub fn finish(self, label: &str) -> DatasetSummary {
         DatasetSummary {
             label: label.to_string(),
-            causes: self.causes,
+            causes: Cause::ALL.iter().copied().zip(self.causes).collect(),
             redundant: self.redundant,
             total: self.total,
         }

@@ -23,6 +23,16 @@ impl Cause {
     /// All causes in table order (CERT, IP, CRED — the row order of Table 1).
     pub const ALL: [Cause; 3] = [Cause::Cert, Cause::Ip, Cause::Cred];
 
+    /// The cause's position in [`Cause::ALL`] — the index used by the
+    /// array-backed aggregation hot path.
+    pub const fn index(self) -> usize {
+        match self {
+            Cause::Cert => 0,
+            Cause::Ip => 1,
+            Cause::Cred => 2,
+        }
+    }
+
     /// The label used in the paper's tables.
     pub fn label(self) -> &'static str {
         match self {

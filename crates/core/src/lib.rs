@@ -41,14 +41,16 @@
 pub mod aggregate;
 pub mod attribution;
 pub mod classify;
+pub mod fastpath;
 pub mod ingest;
 pub mod lifetime;
 pub mod observation;
 pub mod overlap;
 pub mod report;
 
-pub use aggregate::{Accumulator, CauseCounts, DatasetSummary};
+pub use aggregate::{Accumulator, CauseCounts, DatasetSummary, SiteCounts};
 pub use classify::{classify_dataset, classify_site, Cause, ClassifiedConnection, SiteClassification};
+pub use fastpath::FastVisitClassifier;
 pub use ingest::{dataset_from_crawl, dataset_from_har, site_from_har_document, site_from_visit};
 pub use observation::{Dataset, DurationModel, ObservedConnection, ObservedRequest, SiteObservation};
 pub use report::CdfSeries;

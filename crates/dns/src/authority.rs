@@ -14,17 +14,35 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The collection of all authoritative zones.
+///
+/// An authority can be *layered* on top of a shared, immutable base
+/// ([`Authority::with_base`]): the two layers must hold **disjoint** name
+/// sets (asserted in debug builds on insertion), and queries probe the base
+/// first — it is small and densely hit — before walking the local zones.
+/// The population generator uses this to issue the third-party service
+/// zones once per (catalog, mitigation-set) and share them across every
+/// chunk of a large population instead of reinstalling them per chunk.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Authority {
     /// Zones indexed by their apex. Lookup walks from the most specific
     /// enclosing apex outwards.
     zones: BTreeMap<DomainName, Zone>,
+    /// Shared read-only zones consulted when the local layer has no data.
+    base: Option<std::sync::Arc<Authority>>,
 }
 
 impl Authority {
     /// An authority with no zones.
     pub fn new() -> Self {
         Authority::default()
+    }
+
+    /// An empty authority layered over a shared base. The layers' name sets
+    /// must stay disjoint: the base answers first, so a local entry for a
+    /// base-known name would be shadowed (debug-asserted in
+    /// [`Authority::insert_entry`]).
+    pub fn with_base(base: std::sync::Arc<Authority>) -> Self {
+        Authority { zones: BTreeMap::new(), base: Some(base) }
     }
 
     /// Add (or replace) a zone rooted at `apex`.
@@ -42,6 +60,10 @@ impl Authority {
     /// Insert a single entry, creating the zone for the name's registrable
     /// domain if needed. This is the common path for the population generator.
     pub fn insert_entry(&mut self, name: DomainName, entry: ZoneEntry) {
+        debug_assert!(
+            self.base.as_ref().is_none_or(|base| !base.knows(&name)),
+            "layered authority inserted {name}, which the shared base already answers"
+        );
         let apex = name.registrable();
         self.zone_mut(apex).insert(name, entry);
     }
@@ -77,15 +99,35 @@ impl Authority {
     /// Answer a query: the records for `name` under `ctx`, or an empty vector
     /// for names nobody is authoritative for (NXDOMAIN).
     pub fn query(&self, name: &DomainName, ctx: &QueryContext) -> Vec<ResourceRecord> {
-        match self.zone_for(name) {
-            Some(zone) => zone.records_for(name, ctx),
-            None => Vec::new(),
+        let mut records = Vec::new();
+        self.query_into(name, ctx, &mut records);
+        records
+    }
+
+    /// Like [`Authority::query`], but appends the records to `out` instead of
+    /// allocating a fresh vector — the resolver hot path reuses one buffer
+    /// across lookups.
+    pub fn query_into(&self, name: &DomainName, ctx: &QueryContext, out: &mut Vec<ResourceRecord>) {
+        // Layered authorities keep the (small, densely hit) shared service
+        // zones in the base and the per-site zones locally; apexes are
+        // disjoint, so probe the cheap base first. Monolithic authorities
+        // skip straight to their own zones.
+        let before = out.len();
+        if let Some(base) = &self.base {
+            base.query_into(name, ctx, out);
+            if out.len() > before {
+                return;
+            }
+        }
+        if let Some(zone) = self.zone_for(name) {
+            zone.records_into(name, ctx, out);
         }
     }
 
     /// `true` if some zone has an entry for `name`.
     pub fn knows(&self, name: &DomainName) -> bool {
         self.zone_for(name).map(|z| z.entry(name).is_some()).unwrap_or(false)
+            || self.base.as_ref().is_some_and(|base| base.knows(name))
     }
 }
 

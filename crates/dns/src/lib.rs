@@ -25,6 +25,11 @@
 //!   optional EDNS Client Subnet flag,
 //! * [`query`] — the query context (who asks, from where, when).
 
+// The zero-allocation visit fast path made these hot paths clone-free;
+// keep them that way.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod authority;
 pub mod loadbalance;
 pub mod query;

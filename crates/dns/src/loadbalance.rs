@@ -13,7 +13,7 @@
 //! the [`QueryContext`], so simulation runs are reproducible.
 
 use crate::query::QueryContext;
-use netsim_types::{DomainName, Duration, IpAddr};
+use netsim_types::{fnv1a, DomainName, Duration, IpAddr};
 use serde::{Deserialize, Serialize};
 
 /// How an authoritative server picks the A records it returns for a domain.
@@ -92,29 +92,41 @@ impl LoadBalancePolicy {
     /// The returned list is never longer than the pool and never empty unless
     /// the pool itself is empty.
     pub fn select(&self, domain: &DomainName, ctx: &QueryContext) -> Vec<IpAddr> {
+        let mut addresses = Vec::new();
+        self.select_each(domain, ctx, |ip| addresses.push(ip));
+        addresses
+    }
+
+    /// Allocation-free form of [`LoadBalancePolicy::select`]: call `emit`
+    /// once per selected address, in answer order.
+    pub fn select_each<F: FnMut(IpAddr)>(&self, domain: &DomainName, ctx: &QueryContext, mut emit: F) {
         match self {
-            LoadBalancePolicy::Static { addresses } => addresses.clone(),
+            LoadBalancePolicy::Static { addresses } => {
+                for ip in addresses {
+                    emit(*ip);
+                }
+            }
             LoadBalancePolicy::RotatingPool { pool, answer_size, rotation_period } => {
                 let bucket = time_bucket(ctx, *rotation_period);
-                take_wrapped(pool, bucket as usize, *answer_size)
+                emit_wrapped(pool, bucket as usize, *answer_size, &mut emit);
             }
             LoadBalancePolicy::PerResolverPool { pool, answer_size, epoch } => {
                 let bucket = time_bucket(ctx, *epoch);
                 let h = mix(fnv1a(domain.as_str().as_bytes()) ^ ((ctx.resolver.0 as u64) << 32) ^ bucket);
-                take_wrapped(pool, h as usize, *answer_size)
+                emit_wrapped(pool, h as usize, *answer_size, &mut emit);
             }
             LoadBalancePolicy::SynchronizedPool { pool, answer_size, epoch } => {
                 let bucket = time_bucket(ctx, *epoch);
                 let h = mix(((ctx.resolver.0 as u64) << 32) ^ bucket);
-                take_wrapped(pool, h as usize, *answer_size)
+                emit_wrapped(pool, h as usize, *answer_size, &mut emit);
             }
             LoadBalancePolicy::VantageSteered { pool, answer_size } => {
                 if pool.is_empty() {
-                    return Vec::new();
+                    return;
                 }
                 let slice = pool.len().div_ceil(4).max(1);
                 let start = (ctx.vantage.index() as usize * slice) % pool.len();
-                take_wrapped(pool, start, *answer_size)
+                emit_wrapped(pool, start, *answer_size, &mut emit);
             }
         }
     }
@@ -142,22 +154,15 @@ fn time_bucket(ctx: &QueryContext, period: Duration) -> u64 {
     ctx.now.as_millis() / period
 }
 
-/// Take `count` pool members starting at `offset`, wrapping around.
-fn take_wrapped(pool: &[IpAddr], offset: usize, count: usize) -> Vec<IpAddr> {
+/// Emit `count` pool members starting at `offset`, wrapping around.
+fn emit_wrapped<F: FnMut(IpAddr)>(pool: &[IpAddr], offset: usize, count: usize, emit: &mut F) {
     if pool.is_empty() {
-        return Vec::new();
+        return;
     }
     let count = count.clamp(1, pool.len());
-    (0..count).map(|i| pool[(offset + i) % pool.len()]).collect()
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    for i in 0..count {
+        emit(pool[(offset + i) % pool.len()]);
     }
-    hash
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -195,7 +200,7 @@ mod tests {
     fn synchronizing_drops_the_per_domain_hash_only() {
         let epoch = Duration::from_mins(10);
         let unsync = LoadBalancePolicy::PerResolverPool { pool: pool(8), answer_size: 1, epoch };
-        let synced = unsync.clone().synchronized();
+        let synced = unsync.synchronized();
         assert_eq!(synced, LoadBalancePolicy::SynchronizedPool { pool: pool(8), answer_size: 1, epoch });
         // Synchronized answers agree across domains for the same context.
         let c = ctx(3, 1_000);

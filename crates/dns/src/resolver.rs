@@ -13,10 +13,9 @@
 
 use crate::authority::Authority;
 use crate::query::{QueryContext, ResolverId, Vantage};
-use crate::record::{Answer, RecordData};
-use netsim_types::{DomainName, Duration, Instant};
+use crate::record::{Answer, RecordData, ResourceRecord};
+use netsim_types::{DomainName, Duration, FnvHashMap, Instant};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Maximum CNAME chain length before the resolver gives up (loop protection).
 const MAX_CNAME_DEPTH: usize = 8;
@@ -68,16 +67,28 @@ impl std::fmt::Display for ResolutionError {
 impl std::error::Error for ResolutionError {}
 
 /// One cached answer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct CacheLine {
     answer: Answer,
 }
 
 /// A caching recursive resolver.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The cache is allocation-recycling: flushing it (which the browser does
+/// between every page visit) returns the cached answers' buffers to an
+/// internal pool instead of freeing them, so a resolver that is reused across
+/// thousands of visits performs **zero steady-state heap allocations** — the
+/// property the visit fast path (`netsim_browser::VisitScratch`) depends on.
+/// [`RecursiveResolver::resolve`] accordingly hands out a *borrow* of the
+/// cached answer rather than a clone.
+#[derive(Clone, Debug)]
 pub struct RecursiveResolver {
     config: ResolverConfig,
-    cache: BTreeMap<DomainName, CacheLine>,
+    cache: FnvHashMap<DomainName, CacheLine>,
+    /// Recycled `(addresses, cname_chain)` buffers from flushed cache lines.
+    pool: Vec<(Vec<netsim_types::IpAddr>, Vec<DomainName>)>,
+    /// Scratch buffer for authority queries (reused across lookups).
+    records: Vec<ResourceRecord>,
     /// Cumulative statistics, exposed for tests and reports.
     stats: ResolverStats,
 }
@@ -96,7 +107,13 @@ pub struct ResolverStats {
 impl RecursiveResolver {
     /// Create a resolver from its configuration.
     pub fn new(config: ResolverConfig) -> Self {
-        RecursiveResolver { config, cache: BTreeMap::new(), stats: ResolverStats::default() }
+        RecursiveResolver {
+            config,
+            cache: FnvHashMap::default(),
+            pool: Vec::new(),
+            records: Vec::new(),
+            stats: ResolverStats::default(),
+        }
     }
 
     /// The resolver's configuration.
@@ -115,24 +132,31 @@ impl RecursiveResolver {
     }
 
     /// Drop every cached answer (the measurement methodology resets caches
-    /// between site visits).
+    /// between site visits). The answers' buffers are recycled into an
+    /// internal pool so subsequent resolutions reuse them.
     pub fn flush_cache(&mut self) {
-        self.cache.clear();
+        for (_, line) in self.cache.drain() {
+            let Answer { mut addresses, mut cname_chain, .. } = line.answer;
+            addresses.clear();
+            cname_chain.clear();
+            self.pool.push((addresses, cname_chain));
+        }
     }
 
     /// Resolve `name` to addresses at simulated time `now`, consulting the
     /// cache first and chasing CNAMEs through `authority` otherwise.
+    ///
+    /// Returns a borrow of the cached answer; clone it only if it must
+    /// outlive the next call on this resolver.
     pub fn resolve(
         &mut self,
         authority: &Authority,
         name: &DomainName,
         now: Instant,
-    ) -> Result<Answer, ResolutionError> {
-        if let Some(line) = self.cache.get(name) {
-            if line.answer.fresh_at(now) {
-                self.stats.cache_hits += 1;
-                return Ok(line.answer.clone());
-            }
+    ) -> Result<&Answer, ResolutionError> {
+        if self.cache.get(name).is_some_and(|line| line.answer.fresh_at(now)) {
+            self.stats.cache_hits += 1;
+            return Ok(&self.cache.get(name).expect("entry just checked").answer);
         }
         self.stats.cache_misses += 1;
         let ctx = QueryContext {
@@ -143,8 +167,15 @@ impl RecursiveResolver {
         };
         match self.resolve_uncached(authority, name, &ctx) {
             Ok(answer) => {
-                self.cache.insert(*name, CacheLine { answer: answer.clone() });
-                Ok(answer)
+                // Replacing a stale line recycles its buffers first.
+                if let Some(stale) = self.cache.remove(name) {
+                    let Answer { mut addresses, mut cname_chain, .. } = stale.answer;
+                    addresses.clear();
+                    cname_chain.clear();
+                    self.pool.push((addresses, cname_chain));
+                }
+                let line = self.cache.entry(*name).or_insert(CacheLine { answer });
+                Ok(&line.answer)
             }
             Err(err) => {
                 self.stats.failures += 1;
@@ -154,16 +185,47 @@ impl RecursiveResolver {
     }
 
     fn resolve_uncached(
-        &self,
+        &mut self,
         authority: &Authority,
         name: &DomainName,
         ctx: &QueryContext,
     ) -> Result<Answer, ResolutionError> {
+        let (mut addresses, mut chain) = self.pool.pop().unwrap_or_default();
+        let mut records = std::mem::take(&mut self.records);
+        let result =
+            Self::chase(authority, name, ctx, self.config.max_ttl, &mut addresses, &mut chain, &mut records);
+        records.clear();
+        self.records = records;
+        match result {
+            Ok((canonical_name, expires_at)) => {
+                Ok(Answer { query_name: *name, canonical_name, cname_chain: chain, addresses, expires_at })
+            }
+            Err(err) => {
+                addresses.clear();
+                chain.clear();
+                self.pool.push((addresses, chain));
+                Err(err)
+            }
+        }
+    }
+
+    /// Chase CNAMEs from `name`, filling `addresses`/`chain` in place.
+    /// Returns the canonical name and expiry on success.
+    #[allow(clippy::too_many_arguments)]
+    fn chase(
+        authority: &Authority,
+        name: &DomainName,
+        ctx: &QueryContext,
+        max_ttl: Duration,
+        addresses: &mut Vec<netsim_types::IpAddr>,
+        chain: &mut Vec<DomainName>,
+        records: &mut Vec<ResourceRecord>,
+    ) -> Result<(DomainName, Instant), ResolutionError> {
         let mut current = *name;
-        let mut chain: Vec<DomainName> = Vec::new();
-        let mut min_ttl = self.config.max_ttl;
+        let mut min_ttl = max_ttl;
         for _ in 0..MAX_CNAME_DEPTH {
-            let records = authority.query(&current, ctx);
+            records.clear();
+            authority.query_into(&current, ctx, records);
             if records.is_empty() {
                 return if chain.is_empty() {
                     Err(ResolutionError::NxDomain(*name))
@@ -178,8 +240,7 @@ impl RecursiveResolver {
                 current = *target;
                 continue;
             }
-            let mut addresses = Vec::with_capacity(records.len());
-            for record in &records {
+            for record in records.iter() {
                 match &record.data {
                     RecordData::A(ip) => {
                         min_ttl = min_duration(min_ttl, record.ttl);
@@ -191,14 +252,8 @@ impl RecursiveResolver {
             if addresses.is_empty() {
                 return Err(ResolutionError::NoAddress(*name));
             }
-            let effective_ttl = min_duration(min_ttl, self.config.max_ttl);
-            return Ok(Answer {
-                query_name: *name,
-                canonical_name: current,
-                cname_chain: chain,
-                addresses,
-                expires_at: ctx.now + effective_ttl,
-            });
+            let effective_ttl = min_duration(min_ttl, max_ttl);
+            return Ok((current, ctx.now + effective_ttl));
         }
         Err(ResolutionError::CnameLoop(*name))
     }
@@ -280,12 +335,12 @@ mod tests {
         let auth = authority();
         let mut r = resolver();
         let t0 = Instant::EPOCH;
-        let first = r.resolve(&auth, &d("lb.example.com"), t0).unwrap();
+        let first = r.resolve(&auth, &d("lb.example.com"), t0).unwrap().clone();
         // Within the 30 s TTL: cached, identical answer even though the
         // rotation period has advanced.
         let t1 = t0 + Duration::from_secs(25) + Duration::from_secs(45);
         let _ = t1;
-        let cached = r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(20)).unwrap();
+        let cached = r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(20)).unwrap().clone();
         assert_eq!(first.addresses, cached.addresses);
         assert_eq!(r.stats().cache_hits, 1);
         assert_eq!(r.stats().cache_misses, 1);
@@ -304,6 +359,32 @@ mod tests {
         r.flush_cache();
         assert_eq!(r.cache_len(), 0);
         r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn cache_hits_borrow_the_same_answer_without_cloning() {
+        let auth = authority();
+        let mut r = resolver();
+        let t0 = Instant::EPOCH;
+        let first_ptr = r.resolve(&auth, &d("lb.example.com"), t0).unwrap().addresses.as_ptr();
+        // A fresh cache hit must hand back the very same buffer — no clone.
+        let hit_ptr = r.resolve(&auth, &d("lb.example.com"), t0).unwrap().addresses.as_ptr();
+        assert_eq!(first_ptr, hit_ptr, "cache hit must borrow, not clone, the cached answer");
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn flush_recycles_answer_buffers_into_the_pool() {
+        let auth = authority();
+        let mut r = resolver();
+        // Warm the cache, flush it, resolve again: the second resolution must
+        // reuse the pooled buffer instead of allocating a new one.
+        let warm_ptr = r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap().addresses.as_ptr();
+        r.flush_cache();
+        assert_eq!(r.cache_len(), 0);
+        let reused_ptr = r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap().addresses.as_ptr();
+        assert_eq!(warm_ptr, reused_ptr, "flush must recycle answer buffers for reuse");
         assert_eq!(r.stats().cache_misses, 2);
     }
 

@@ -108,13 +108,21 @@ impl Zone {
     /// under `ctx`: either one CNAME record or one A record per selected
     /// address. Empty if the name is not in the zone.
     pub fn records_for(&self, name: &DomainName, ctx: &QueryContext) -> Vec<ResourceRecord> {
+        let mut records = Vec::new();
+        self.records_into(name, ctx, &mut records);
+        records
+    }
+
+    /// Like [`Zone::records_for`], but appends to `out` instead of
+    /// allocating — the resolver hot path reuses one records buffer.
+    pub fn records_into(&self, name: &DomainName, ctx: &QueryContext, out: &mut Vec<ResourceRecord>) {
         match self.entries.get(name) {
-            None => Vec::new(),
+            None => {}
             Some(ZoneEntry::Alias { target, ttl }) => {
-                vec![ResourceRecord { name: *name, ttl: *ttl, data: RecordData::Cname(*target) }]
+                out.push(ResourceRecord { name: *name, ttl: *ttl, data: RecordData::Cname(*target) });
             }
             Some(ZoneEntry::Addresses { policy, ttl }) => {
-                policy.select(name, ctx).into_iter().map(|ip| ResourceRecord::a(*name, ip, *ttl)).collect()
+                policy.select_each(name, ctx, |ip| out.push(ResourceRecord::a(*name, ip, *ttl)));
             }
         }
     }

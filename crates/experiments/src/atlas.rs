@@ -45,10 +45,12 @@
 
 use crate::render::{format_count, format_percent, TextTable};
 use crate::scenario::{ScenarioConfig, ALEXA_CRAWL_SEED_OFFSET, ALEXA_POPULATION_SEED_OFFSET};
-use connreuse_core::{classify_site, site_from_visit, Accumulator, Cause, DatasetSummary, DurationModel};
-use netsim_browser::{BrowserConfig, Crawler};
-use netsim_types::{interned_domain_count, interned_domain_octets};
-use netsim_web::{PopulationBuilder, PopulationProfile};
+use connreuse_core::{
+    classify_site, site_from_visit, Accumulator, Cause, DatasetSummary, DurationModel, FastVisitClassifier,
+};
+use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
+use netsim_types::{interned_domain_count, interned_domain_octets, MitigationSet};
+use netsim_web::{DeploymentCache, PopulationBuilder, PopulationProfile};
 use serde::{Deserialize, Serialize};
 
 /// Sizing and seeding of one atlas run.
@@ -211,18 +213,25 @@ pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
     let mut results: Vec<Option<(Accumulator, AtlasTallies)>> = Vec::new();
     results.resize_with(chunks.len(), || None);
 
+    // One memoized service deployment for the whole run: the catalog's
+    // zones/certs/prefixes are issued once and shared by every chunk.
+    let deployments = DeploymentCache::standard();
+
     let threads = config.threads.clamp(1, chunks.len().max(1));
     if threads <= 1 {
+        let mut worker = ChunkWorker::new();
         for (slot, chunk) in results.iter_mut().zip(&chunks) {
-            *slot = Some(run_chunk(config, *chunk));
+            *slot = Some(worker.run_chunk(config, *chunk, &deployments));
         }
     } else {
         let per_worker = chunks.len().div_ceil(threads);
+        let deployments = &deployments;
         std::thread::scope(|scope| {
             for (slots, shard) in results.chunks_mut(per_worker).zip(chunks.chunks(per_worker)) {
                 scope.spawn(move || {
+                    let mut worker = ChunkWorker::new();
                     for (slot, chunk) in slots.iter_mut().zip(shard) {
-                        *slot = Some(run_chunk(config, *chunk));
+                        *slot = Some(worker.run_chunk(config, *chunk, deployments));
                     }
                 });
             }
@@ -258,35 +267,104 @@ pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
     }
 }
 
-/// Generate, crawl and classify one chunk `[start, start + len)`.
-fn run_chunk(config: &AtlasConfig, (start, len): (usize, usize)) -> (Accumulator, AtlasTallies) {
-    // Both profiles carry the scenario name so generated domains read
-    // `atlas-site-000123.<tld>` regardless of which profile a rank draws.
-    let mut head = PopulationProfile::alexa();
-    head.name = "atlas".to_string();
-    let mut tail = PopulationProfile::archive();
-    tail.name = "atlas".to_string();
+/// A chunk worker's reusable state: the visit scratch arena and the
+/// streaming classifier survive across every chunk the worker processes, so
+/// the steady-state visit loop allocates nothing.
+struct ChunkWorker {
+    scratch: VisitScratch,
+    classifier: FastVisitClassifier,
+}
 
-    let env = PopulationBuilder::new(tail, len, config.seed + ALEXA_POPULATION_SEED_OFFSET)
-        .with_site_offset(start)
-        .with_zipf_profile_mix(head, config.zipf_exponent)
-        .build();
-
-    let crawler =
-        Crawler::new("atlas", BrowserConfig::alexa_measurement(), config.seed + ALEXA_CRAWL_SEED_OFFSET);
-
-    let mut accumulator = Accumulator::new();
-    let mut tallies = AtlasTallies { requests: 0, planned_requests: env.total_planned_requests() };
-    for index in 0..env.sites.len() {
-        // Visit → observe → classify → fold, then drop the visit: nothing
-        // proportional to the chunk's page loads outlives this iteration.
-        let visit = crawler.visit_site(&env, index);
-        tallies.requests += visit.request_count();
-        let observation = site_from_visit(&visit);
-        drop(visit);
-        accumulator.observe(&classify_site(&observation, DurationModel::Recorded));
+impl ChunkWorker {
+    fn new() -> Self {
+        // NetLog events would be dropped unread — disable recording so the
+        // visit loop stays allocation-free.
+        ChunkWorker { scratch: VisitScratch::without_netlog(), classifier: FastVisitClassifier::new() }
     }
-    (accumulator, tallies)
+
+    /// Generate, crawl and classify one chunk `[start, start + len)`.
+    fn run_chunk(
+        &mut self,
+        config: &AtlasConfig,
+        (start, len): (usize, usize),
+        deployments: &DeploymentCache,
+    ) -> (Accumulator, AtlasTallies) {
+        // Both profiles carry the scenario name so generated domains read
+        // `atlas-site-000123.<tld>` regardless of which profile a rank draws.
+        let mut head = PopulationProfile::alexa();
+        head.name = "atlas".to_string();
+        let mut tail = PopulationProfile::archive();
+        tail.name = "atlas".to_string();
+
+        let env = PopulationBuilder::new(tail, len, config.seed + ALEXA_POPULATION_SEED_OFFSET)
+            .with_site_offset(start)
+            .with_zipf_profile_mix(head, config.zipf_exponent)
+            .with_shared_deployment(deployments.deployment(MitigationSet::empty()))
+            .build();
+
+        let crawler =
+            Crawler::new("atlas", BrowserConfig::alexa_measurement(), config.seed + ALEXA_CRAWL_SEED_OFFSET);
+
+        let mut accumulator = Accumulator::new();
+        let mut tallies = AtlasTallies { requests: 0, planned_requests: env.total_planned_requests() };
+        for index in 0..env.sites.len() {
+            // Visit → classify → fold, all through the per-worker scratch:
+            // nothing proportional to the page load is allocated, let alone
+            // outlives this iteration.
+            let times = crawler.visit_site_into(&mut self.scratch, &env, index);
+            tallies.requests += self.scratch.requests().len();
+            if self.scratch.all_ok() {
+                let counts = classify_scratch(&mut self.classifier, &self.scratch, DurationModel::Recorded);
+                accumulator.observe_counts(&counts);
+            } else {
+                // A non-200 response (HTTP 421 exclusion) appeared: fall
+                // back to the full observation pipeline for this site.
+                let visit = self.scratch.to_page_visit(&env.sites[index], times);
+                accumulator.observe(&classify_site(&site_from_visit(&visit), DurationModel::Recorded));
+            }
+        }
+        (accumulator, tallies)
+    }
+}
+
+/// Feed one scratch visit into the streaming classifier and reduce it to the
+/// site's cause counts. This is *the* contract between the visit engine and
+/// the classifier (the equivalence proptest and the criterion benches reuse
+/// it): connections are pushed in establishment order, then the request log
+/// is folded in one linear pass to set each connection's last-request time
+/// (its establishment time if it carried none, as
+/// `ObservedConnection::last_request_at` defines it).
+///
+/// The caller must have checked [`VisitScratch::all_ok`]; visits with
+/// non-200 responses (HTTP 421 exclusions) go through the full
+/// `site_from_visit`/`classify_site` pipeline instead.
+pub fn classify_scratch(
+    classifier: &mut FastVisitClassifier,
+    scratch: &VisitScratch,
+    model: DurationModel,
+) -> connreuse_core::SiteCounts {
+    classifier.begin_site();
+    let connections = scratch.connections();
+    let first_id = connections.first().map(|connection| connection.id.0).unwrap_or(0);
+    for (offset, connection) in connections.iter().enumerate() {
+        // Connection ids are issued sequentially in establishment order, so
+        // a request's connection id maps straight back to its record index.
+        debug_assert_eq!(connection.id.0, first_id + offset as u64);
+        classifier.push_connection(
+            connection.id,
+            connection.initial_origin.host,
+            connection.remote_ip,
+            connection.port,
+            connection.established_at,
+            connection.closed_at,
+            connection.established_at,
+            &connection.certificate,
+        );
+    }
+    for request in scratch.requests() {
+        classifier.bump_last_request((request.connection.0 - first_id) as usize, request.started_at);
+    }
+    classifier.classify(model)
 }
 
 /// Peak resident set size of this process (`VmHWM`), or 0 if unknown.
@@ -305,7 +383,57 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// The machine-readable benchmark record `connreuse-atlas --bench-json`
+/// writes to `BENCH_atlas.json`, giving future PRs a perf trajectory to
+/// compare against. Deterministic configuration fields first, then the
+/// machine-dependent measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Record format version.
+    pub schema: u32,
+    /// Scenario name (always "atlas").
+    pub scenario: String,
+    /// Population size.
+    pub sites: usize,
+    /// Sites per chunk.
+    pub chunk_sites: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Zipf head-profile exponent.
+    pub zipf_exponent: f64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Sites classified per wall-clock second.
+    pub sites_per_second: f64,
+    /// Peak resident set size in bytes (0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Distinct interned domain strings after the run.
+    pub interned_domains: usize,
+    /// Octets those interned strings occupy.
+    pub interned_octets: usize,
+}
+
 impl AtlasReport {
+    /// The benchmark record for this run.
+    pub fn bench_record(&self) -> BenchRecord {
+        BenchRecord {
+            schema: 1,
+            scenario: "atlas".to_string(),
+            sites: self.config.sites,
+            chunk_sites: self.config.chunk_sites,
+            threads: self.config.threads,
+            seed: self.config.seed,
+            zipf_exponent: self.config.zipf_exponent,
+            elapsed_secs: self.metrics.elapsed_secs,
+            sites_per_second: self.metrics.sites_per_second,
+            peak_rss_bytes: self.metrics.peak_rss_bytes,
+            interned_domains: self.metrics.interned_domains,
+            interned_octets: self.metrics.interned_octets,
+        }
+    }
+
     /// Fraction of planned requests actually sent (page timeouts can clip
     /// the tail of a plan).
     pub fn request_completion(&self) -> f64 {

@@ -11,17 +11,26 @@
 use connreuse_experiments::atlas::{run_atlas, AtlasConfig};
 use std::path::PathBuf;
 
+/// Default file the `--bench-json` flag writes the machine-readable record
+/// to when no explicit path follows it. The committed copy at the repo root
+/// is the full-run baseline — point quick/CI runs somewhere else so they do
+/// not clobber it.
+const BENCH_JSON_PATH: &str = "BENCH_atlas.json";
+
 struct CliOptions {
     config: AtlasConfig,
     out: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
     help: bool,
 }
 
 fn parse_args() -> Result<CliOptions, String> {
     let mut config = AtlasConfig::full();
     let mut out = None;
+    let mut bench_json = None;
+    let mut quick = false;
     let mut help = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sites" => config.sites = parse_value(&mut args, &arg)?,
@@ -30,19 +39,54 @@ fn parse_args() -> Result<CliOptions, String> {
             "--threads" => config.threads = parse_value(&mut args, &arg)?,
             "--zipf" => config.zipf_exponent = parse_value(&mut args, &arg)?,
             "--quick" => {
-                let quick = AtlasConfig::quick();
-                config.sites = quick.sites;
-                config.chunk_sites = quick.chunk_sites;
+                quick = true;
+                let sizes = AtlasConfig::quick();
+                config.sites = sizes.sites;
+                config.chunk_sites = sizes.chunk_sites;
             }
             "--out" => {
                 let value = args.next().ok_or("--out requires a file path")?;
                 out = Some(PathBuf::from(value));
             }
+            "--bench-json" => {
+                // Optional file operand: `--bench-json results/run.json`.
+                let explicit = args.peek().filter(|next| !next.starts_with('-')).is_some();
+                bench_json = Some(if explicit {
+                    PathBuf::from(args.next().expect("peeked operand"))
+                } else {
+                    PathBuf::from(BENCH_JSON_PATH)
+                });
+            }
             "--help" | "-h" => help = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
-    Ok(CliOptions { config, out, help })
+    if quick && bench_json.as_deref().is_some_and(resolves_to_default_baseline) {
+        return Err(format!(
+            "--quick refuses to write the default {BENCH_JSON_PATH} (the committed copy is the \
+             full-run baseline); pass an explicit file, e.g. --bench-json quick-bench.json"
+        ));
+    }
+    Ok(CliOptions { config, out, bench_json, help })
+}
+
+/// `true` if `path` denotes the committed baseline file in the current
+/// directory, under any spelling (`BENCH_atlas.json`, `./BENCH_atlas.json`,
+/// an absolute path, …) — the guard canonicalises the parent directory so a
+/// creative spelling cannot slip a quick record over the baseline.
+fn resolves_to_default_baseline(path: &std::path::Path) -> bool {
+    if path.file_name() != Some(std::ffi::OsStr::new(BENCH_JSON_PATH)) {
+        return false;
+    }
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => std::path::Path::new("."),
+    };
+    match (std::fs::canonicalize(parent), std::fs::canonicalize(".")) {
+        (Ok(target_dir), Ok(cwd)) => target_dir == cwd,
+        // An unresolvable parent cannot be the current directory.
+        _ => false,
+    }
 }
 
 fn parse_value<T: std::str::FromStr>(
@@ -66,6 +110,9 @@ fn print_usage() {
     println!("  --zipf X     Zipf exponent of the head/tail profile mix (default 0.35)");
     println!("  --quick      use the small test-sized population (400 sites)");
     println!("  --out FILE   also write the report to FILE");
+    println!("  --bench-json [FILE]  write machine-readable run metrics (default {BENCH_JSON_PATH};");
+    println!("               the committed copy is the full-run baseline — quick runs should");
+    println!("               pass an explicit FILE)");
 }
 
 fn main() {
@@ -108,5 +155,26 @@ fn main() {
             eprintln!("error: cannot write {}: {error}", path.display());
             std::process::exit(1);
         }
+    }
+    if let Some(path) = &options.bench_json {
+        let record = report.bench_record();
+        let json = match serde_json::to_string_pretty(&record) {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!("error: cannot serialise bench record: {error}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(error) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {error}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(error) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("bench record written to {}", path.display());
     }
 }

@@ -59,6 +59,31 @@ pub fn partition_for(request: &FetchRequest) -> CredentialsPartition {
     }
 }
 
+/// The pool partition of a planned sub-resource fetch, computed from its
+/// parts without materialising a [`FetchRequest`] (which owns the path as a
+/// heap `String`). Equivalent to
+/// `partition_for(&FetchRequest::with_defaults(..).anonymous()?)` — the
+/// allocation-free form the browser's visit fast path uses.
+pub fn partition_for_planned(
+    url_origin: &netsim_types::Origin,
+    initiator: &netsim_types::Origin,
+    destination: crate::request::RequestDestination,
+    anonymous: bool,
+) -> CredentialsPartition {
+    let (_, credentials) =
+        if anonymous { destination.anonymous_parameters() } else { destination.default_parameters() };
+    let included = match credentials {
+        CredentialsMode::Include => true,
+        CredentialsMode::Omit => false,
+        CredentialsMode::SameOrigin => url_origin == initiator,
+    };
+    if included {
+        CredentialsPartition::Credentialed
+    } else {
+        CredentialsPartition::Anonymous
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

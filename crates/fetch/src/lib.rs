@@ -22,12 +22,17 @@
 //! * [`cors`] — a minimal CORS check used by the browser model when a
 //!   cross-origin resource requires it.
 
+// The zero-allocation visit fast path made these hot paths clone-free;
+// keep them that way.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod cors;
 pub mod credentials;
 pub mod request;
 pub mod tainting;
 
 pub use cors::{CorsCheck, CorsPolicy};
-pub use credentials::{includes_credentials, partition_for, CredentialsPartition};
+pub use credentials::{includes_credentials, partition_for, partition_for_planned, CredentialsPartition};
 pub use request::{CredentialsMode, FetchRequest, RequestDestination, RequestMode};
 pub use tainting::ResponseTainting;

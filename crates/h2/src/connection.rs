@@ -8,14 +8,15 @@
 //! RFC 8336 origin set, and the stream/transfer bookkeeping that the HAR and
 //! NetLog substrates serialise.
 
-use crate::hpack::{Header, HpackContext};
+use crate::hpack::HpackContext;
 use crate::settings::Settings;
 use crate::stream::{StreamId, StreamState};
 use netsim_tls::Certificate;
 use netsim_types::{ConnectionId, DomainName, Instant, IpAddr, Origin};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Lifecycle state of a connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +57,11 @@ impl fmt::Display for ConnectionError {
 impl std::error::Error for ConnectionError {}
 
 /// One HTTP/2 session.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full logical state (heap capacities excluded by
+/// construction) — its main consumer is the test pinning
+/// [`Connection::reestablish`] to [`Connection::establish`] field for field.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Connection {
     /// Identifier, equal to the socket id recorded in HAR files.
     pub id: ConnectionId,
@@ -67,7 +72,9 @@ pub struct Connection {
     /// Destination port.
     pub port: u16,
     /// The certificate the server presented for the SNI of `initial_origin`.
-    pub certificate: Certificate,
+    /// Shared with the issuing store — presenting a certificate never copies
+    /// its SAN list.
+    pub certificate: Arc<Certificate>,
     /// Whether requests on this connection include credentials (cookies /
     /// client certificates). Under the Fetch Standard, credentialed and
     /// credential-less requests must not share a connection.
@@ -87,7 +94,13 @@ pub struct Connection {
     pub excluded_domains: BTreeSet<DomainName>,
     /// The origin set announced via an RFC 8336 ORIGIN frame, if any.
     pub origin_set: Option<BTreeSet<DomainName>>,
-    streams: BTreeMap<StreamId, StreamState>,
+    /// Streams in open order. A `Vec` (rather than a map) so that a pooled
+    /// connection shell retains its capacity across visits; streams per
+    /// connection are few, so lookups stay linear.
+    streams: Vec<(StreamId, StreamState)>,
+    /// Number of entries in `streams` whose state is not closed, maintained
+    /// incrementally so the reuse predicate's concurrency check is O(1).
+    open_count: u32,
     next_stream: StreamId,
     encoder: HpackContext,
     /// Number of requests sent on this connection.
@@ -105,7 +118,7 @@ impl Connection {
         id: ConnectionId,
         initial_origin: Origin,
         remote_ip: IpAddr,
-        certificate: Certificate,
+        certificate: Arc<Certificate>,
         credentialed: bool,
         established_at: Instant,
         remote_settings: Settings,
@@ -125,13 +138,52 @@ impl Connection {
             remote_settings,
             excluded_domains: BTreeSet::new(),
             origin_set: None,
-            streams: BTreeMap::new(),
+            streams: Vec::new(),
+            open_count: 0,
             next_stream: StreamId::FIRST_CLIENT,
             encoder: HpackContext::default(),
             requests_sent: 0,
             header_octets_sent: 0,
             body_octets_received: 0,
         }
+    }
+
+    /// Re-establish a pooled connection shell in place, exactly as
+    /// [`Connection::establish`] would construct it but retaining the heap
+    /// capacity of the stream table and HPACK dynamic table. This is the
+    /// zero-allocation path the per-worker visit scratch uses: recycled
+    /// shells make opening a connection allocation-free in the steady state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reestablish(
+        &mut self,
+        id: ConnectionId,
+        initial_origin: Origin,
+        remote_ip: IpAddr,
+        certificate: Arc<Certificate>,
+        credentialed: bool,
+        established_at: Instant,
+        remote_settings: Settings,
+    ) {
+        self.id = id;
+        self.port = initial_origin.port;
+        self.initial_origin = initial_origin;
+        self.remote_ip = remote_ip;
+        self.certificate = certificate;
+        self.credentialed = credentialed;
+        self.established_at = established_at;
+        self.closed_at = None;
+        self.state = ConnectionState::Open;
+        self.local_settings = Settings::chromium_client();
+        self.remote_settings = remote_settings;
+        self.excluded_domains.clear();
+        self.origin_set = None;
+        self.streams.clear();
+        self.open_count = 0;
+        self.next_stream = StreamId::FIRST_CLIENT;
+        self.encoder.reset();
+        self.requests_sent = 0;
+        self.header_octets_sent = 0;
+        self.body_octets_received = 0;
     }
 
     /// The domain the connection was initially opened for.
@@ -141,7 +193,12 @@ impl Connection {
 
     /// Number of currently open (not closed) streams.
     pub fn open_streams(&self) -> usize {
-        self.streams.values().filter(|s| !s.is_closed()).count()
+        debug_assert_eq!(
+            self.open_count as usize,
+            self.streams.iter().filter(|(_, s)| !s.is_closed()).count(),
+            "open-stream counter out of sync"
+        );
+        self.open_count as usize
     }
 
     /// Total streams ever opened.
@@ -172,12 +229,14 @@ impl Connection {
         }
         let stream_id = self.next_stream;
         self.next_stream = self.next_stream.next_same_peer();
-        let headers: Vec<Header> = HpackContext::request_headers(authority.as_str(), path, cookie);
-        let encoded = self.encoder.encode_block_size(&headers);
+        let encoded = self.encoder.encode_request_size(authority.as_str(), path, cookie);
         self.header_octets_sent += encoded as u64;
         self.requests_sent += 1;
         let state = StreamState::Idle.send_headers(true).expect("idle stream always accepts HEADERS");
-        self.streams.insert(stream_id, state);
+        if !state.is_closed() {
+            self.open_count += 1;
+        }
+        self.streams.push((stream_id, state));
         Ok(stream_id)
     }
 
@@ -190,8 +249,19 @@ impl Connection {
         status: u16,
         body_octets: u64,
     ) -> Result<(), ConnectionError> {
-        let state = self.streams.get_mut(&stream).ok_or(ConnectionError::UnknownStream(stream))?;
+        // Newest first: the overwhelmingly common case is completing the
+        // stream that was just opened (the last entry).
+        let state = self
+            .streams
+            .iter_mut()
+            .rev()
+            .find_map(|(id, state)| (*id == stream).then_some(state))
+            .ok_or(ConnectionError::UnknownStream(stream))?;
+        let was_open = !state.is_closed();
         *state = state.receive_end_stream().unwrap_or(StreamState::Closed);
+        if was_open && state.is_closed() {
+            self.open_count -= 1;
+        }
         self.body_octets_received += body_octets;
         if status == 421 {
             self.excluded_domains.insert(*domain);
@@ -253,12 +323,12 @@ mod tests {
         DomainName::literal(s)
     }
 
-    fn certificate_for(domains: &[&str]) -> Certificate {
+    fn certificate_for(domains: &[&str]) -> Arc<Certificate> {
         let mut store = CertificateStore::new();
         let names: Vec<DomainName> = domains.iter().map(|s| d(s)).collect();
         let ids =
             store.issue_with_policy(Issuer::digicert(), &IssuancePolicy::SharedSan, &names, Instant::EPOCH);
-        store.get(ids[0]).unwrap().clone()
+        Arc::clone(store.get_arc(ids[0]).unwrap())
     }
 
     fn connection() -> Connection {
@@ -271,6 +341,44 @@ mod tests {
             Instant::EPOCH,
             Settings::default(),
         )
+    }
+
+    #[test]
+    fn reestablish_equals_a_fresh_establish() {
+        // A pooled shell that lived a full life — requests, 421 exclusion,
+        // origin set, GOAWAY, close — must come back exactly as
+        // `Connection::establish` would construct it. `Connection:
+        // PartialEq` covers every logical field, so a forgotten reset in
+        // `reestablish` fails this test directly.
+        let mut shell = connection();
+        let s1 = shell.send_request(&d("www.example.com"), "/", Some("sid=1")).unwrap();
+        shell.complete_response(s1, &d("www.example.com"), 200, 1_000).unwrap();
+        let s2 = shell.send_request(&d("img.example.com"), "/x.png", None).unwrap();
+        shell.complete_response(s2, &d("img.example.com"), 421, 0).unwrap();
+        shell.receive_origin_set([d("img.example.com")]);
+        shell.receive_goaway();
+        shell.close(Instant::from_millis(9_000));
+
+        let certificate = certificate_for(&["shop.example.org"]);
+        shell.reestablish(
+            ConnectionId(77),
+            Origin::https(d("shop.example.org")),
+            IpAddr::new(10, 1, 2, 3),
+            Arc::clone(&certificate),
+            false,
+            Instant::from_millis(12_345),
+            Settings::default(),
+        );
+        let fresh = Connection::establish(
+            ConnectionId(77),
+            Origin::https(d("shop.example.org")),
+            IpAddr::new(10, 1, 2, 3),
+            certificate,
+            false,
+            Instant::from_millis(12_345),
+            Settings::default(),
+        );
+        assert_eq!(shell, fresh);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! (sizes are reported un-Huffman-coded, a conservative over-estimate on both
 //! sides of any comparison).
 
+use netsim_types::fnv1a;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -83,15 +84,48 @@ enum Representation {
     LiteralWithIndexing { name_index: Option<usize> },
 }
 
+/// A dynamic-table entry, stored as a fingerprint instead of owned strings.
+///
+/// The size model only needs *equality* of (name, value) pairs and their
+/// lengths, so entries keep 64-bit FNV-1a hashes plus the lengths. This makes
+/// table insertion allocation-free — the property the zero-allocation visit
+/// fast path relies on — at the (deterministic, astronomically unlikely)
+/// risk of a hash collision conflating two header fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct DynamicEntry {
+    name_hash: u64,
+    value_hash: u64,
+    name_len: u32,
+    value_len: u32,
+}
+
+impl DynamicEntry {
+    /// RFC 7541 §4.1 entry size: name + value + 32 octets of overhead.
+    fn hpack_size(&self) -> usize {
+        self.name_len as usize + self.value_len as usize + 32
+    }
+}
+
 /// One endpoint's HPACK encoder/decoder state (the dynamic table).
 ///
 /// The simulation uses a shared context per connection direction; encoding a
 /// header list both returns the encoded size and updates the table exactly as
 /// a real encoder would, so repeated requests on the *same* connection get
 /// cheaper while a *new* connection starts from scratch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The FIFO table is a deque of fingerprints (newest at the front) plus a
+/// hash index mapping fingerprints to insertion sequence numbers, so the
+/// exact-match probe on every encoded field is O(1) instead of a scan of the
+/// ~60-entry table, and insertion never shifts the table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HpackContext {
-    dynamic: Vec<Header>,
+    /// Fingerprints, newest first. Front entry has dynamic index
+    /// `STATIC_TABLE_LEN + 1`.
+    dynamic: std::collections::VecDeque<(DynamicEntry, u64)>,
+    /// Fingerprint → newest insertion sequence holding it.
+    index: netsim_types::FnvHashMap<DynamicEntry, u64>,
+    /// Sequence number the next insertion will get.
+    next_seq: u64,
     max_size: usize,
     current_size: usize,
     /// Total octets that crossed the wire through this context.
@@ -110,12 +144,27 @@ impl HpackContext {
     /// A context with the given maximum dynamic-table size.
     pub fn new(max_size: usize) -> Self {
         HpackContext {
-            dynamic: Vec::new(),
+            dynamic: std::collections::VecDeque::new(),
+            index: netsim_types::FnvHashMap::default(),
+            next_seq: 0,
             max_size,
             current_size: 0,
             encoded_octets: 0,
             uncompressed_octets: 0,
         }
+    }
+
+    /// The dynamic-table index (HPACK numbering) of the entry inserted with
+    /// sequence `seq`.
+    fn dynamic_index_of(&self, seq: u64) -> usize {
+        STATIC_TABLE_LEN + 1 + (self.next_seq - 1 - seq) as usize
+    }
+
+    /// Drop every dynamic-table entry, retaining heap capacity.
+    fn clear_table(&mut self) {
+        self.dynamic.clear();
+        self.index.clear();
+        self.current_size = 0;
     }
 
     /// Number of entries currently in the dynamic table.
@@ -138,75 +187,192 @@ impl HpackContext {
         }
     }
 
-    fn lookup(&self, header: &Header) -> Representation {
+    /// Reset to the state of a freshly constructed context with the same
+    /// maximum table size, retaining the dynamic table's heap capacity (used
+    /// when a pooled connection shell is re-established).
+    pub fn reset(&mut self) {
+        self.clear_table();
+        self.next_seq = 0;
+        self.encoded_octets = 0;
+        self.uncompressed_octets = 0;
+    }
+
+    fn lookup(&self, name: &str, value: &str) -> Representation {
         // Exact match in the static table?
-        for (index, name, value) in STATIC_TABLE {
-            if *name == header.name && *value == header.value && !value.is_empty() {
+        for (index, static_name, static_value) in STATIC_TABLE {
+            if *static_name == name && *static_value == value && !static_value.is_empty() {
                 return Representation::Indexed(*index);
             }
         }
+        let probe = DynamicEntry {
+            name_hash: fnv1a(name.as_bytes()),
+            value_hash: fnv1a(value.as_bytes()),
+            name_len: name.len() as u32,
+            value_len: value.len() as u32,
+        };
         // Exact match in the dynamic table? Index space continues after the
         // static table (most recent insertion = lowest dynamic index).
-        for (offset, entry) in self.dynamic.iter().enumerate() {
-            if entry == header {
-                return Representation::Indexed(STATIC_TABLE_LEN + 1 + offset);
-            }
+        if let Some(seq) = self.index.get(&probe) {
+            return Representation::Indexed(self.dynamic_index_of(*seq));
         }
         // Name-only match (static first, then dynamic)?
         let name_index = STATIC_TABLE
             .iter()
-            .find(|(_, name, _)| *name == header.name)
+            .find(|(_, static_name, _)| *static_name == name)
             .map(|(index, _, _)| *index)
             .or_else(|| {
                 self.dynamic
                     .iter()
-                    .position(|entry| entry.name == header.name)
+                    .position(|(entry, _)| {
+                        entry.name_hash == probe.name_hash && entry.name_len == probe.name_len
+                    })
                     .map(|offset| STATIC_TABLE_LEN + 1 + offset)
             });
         Representation::LiteralWithIndexing { name_index }
     }
 
-    fn insert(&mut self, header: Header) {
-        let size = header.hpack_size();
+    fn insert(&mut self, entry: DynamicEntry) {
+        let size = entry.hpack_size();
         if size > self.max_size {
             // An oversized entry empties the table (RFC 7541 §4.4).
-            self.dynamic.clear();
-            self.current_size = 0;
+            self.clear_table();
             return;
         }
         while self.current_size + size > self.max_size {
-            if let Some(evicted) = self.dynamic.pop() {
+            if let Some((evicted, seq)) = self.dynamic.pop_back() {
                 self.current_size -= evicted.hpack_size();
+                // A newer duplicate keeps its index entry.
+                if self.index.get(&evicted) == Some(&seq) {
+                    self.index.remove(&evicted);
+                }
             } else {
                 break;
             }
         }
         self.current_size += size;
-        self.dynamic.insert(0, header);
+        self.dynamic.push_front((entry, self.next_seq));
+        self.index.insert(entry, self.next_seq);
+        self.next_seq += 1;
+    }
+
+    /// Encode one header field, updating the dynamic table, and return its
+    /// encoded octet count. Allocation-free.
+    fn encode_field(&mut self, name: &str, value: &str) -> usize {
+        let cost = match self.lookup(name, value) {
+            Representation::Indexed(index) => integer_octets(index as u64, 7),
+            Representation::LiteralWithIndexing { name_index } => {
+                let name_cost = match name_index {
+                    Some(index) => integer_octets(index as u64, 6),
+                    None => 1 + string_octets(name.len()),
+                };
+                let value_cost = string_octets(value.len());
+                self.insert(DynamicEntry {
+                    name_hash: fnv1a(name.as_bytes()),
+                    value_hash: fnv1a(value.as_bytes()),
+                    name_len: name.len() as u32,
+                    value_len: value.len() as u32,
+                });
+                name_cost + value_cost
+            }
+        };
+        self.uncompressed_octets += (name.len() + value.len() + 4) as u64;
+        self.encoded_octets += cost as u64;
+        cost
     }
 
     /// Encode a header list, updating the dynamic table, and return the
     /// number of octets the encoded block occupies.
     pub fn encode_block_size(&mut self, headers: &[Header]) -> usize {
+        headers.iter().map(|header| self.encode_field(&header.name, &header.value)).sum()
+    }
+
+    /// Encode one field whose static-table disposition was resolved at
+    /// compile time: the name matched static index `name_index` (never a
+    /// full static (name, value) hit), so only the dynamic table needs
+    /// probing. The hot-loop core of [`HpackContext::encode_request_size`].
+    fn encode_precomputed(
+        &mut self,
+        name_index: usize,
+        name_len: usize,
+        name_hash: u64,
+        value: &str,
+    ) -> usize {
+        let probe = DynamicEntry {
+            name_hash,
+            value_hash: fnv1a(value.as_bytes()),
+            name_len: name_len as u32,
+            value_len: value.len() as u32,
+        };
+        let cost = match self.index.get(&probe) {
+            Some(seq) => integer_octets(self.dynamic_index_of(*seq) as u64, 7),
+            None => {
+                let name_cost = integer_octets(name_index as u64, 6);
+                let value_cost = string_octets(value.len());
+                self.insert(probe);
+                name_cost + value_cost
+            }
+        };
+        self.uncompressed_octets += (name_len + value.len() + 4) as u64;
+        self.encoded_octets += cost as u64;
+        cost
+    }
+
+    /// Encode the standard HTTPS GET request block (the same fields, in the
+    /// same order, as [`HpackContext::request_headers`] builds) without
+    /// allocating the intermediate header list — and with every static-table
+    /// decision folded at compile time. Returns the encoded block size;
+    /// equivalent to
+    /// `encode_block_size(&request_headers(authority, path, cookie))`
+    /// (asserted by `request_fast_path_matches_header_list_encoding`).
+    pub fn encode_request_size(&mut self, authority: &str, path: &str, cookie: Option<&str>) -> usize {
         let mut total = 0usize;
-        for header in headers {
-            let representation = self.lookup(header);
-            total += match representation {
-                Representation::Indexed(index) => integer_octets(index as u64, 7),
-                Representation::LiteralWithIndexing { name_index } => {
-                    let name_cost = match name_index {
-                        Some(index) => integer_octets(index as u64, 6),
-                        None => 1 + string_octets(header.name.len()),
-                    };
-                    let value_cost = string_octets(header.value.len());
-                    self.insert(header.clone());
-                    name_cost + value_cost
-                }
-            };
-            self.uncompressed_octets += (header.name.len() + header.value.len() + 4) as u64;
+        // `:method: GET` (static 2) and `:scheme: https` (static 7): full
+        // static hits, one octet each, no table update.
+        total += 2;
+        self.uncompressed_octets += (":method".len() + "GET".len() + 4) as u64;
+        self.uncompressed_octets += (":scheme".len() + "https".len() + 4) as u64;
+        self.encoded_octets += 2;
+        // `:authority` (static name 1) — the value is never a static hit.
+        total += self.encode_precomputed(1, ":authority".len(), AUTHORITY_NAME_HASH, authority);
+        // `:path` — "/" and "/index.html" are full static hits (4 / 5).
+        match path {
+            "/" | "/index.html" => {
+                let index: u64 = if path == "/" { 4 } else { 5 };
+                let cost = integer_octets(index, 7);
+                total += cost;
+                self.uncompressed_octets += (":path".len() + path.len() + 4) as u64;
+                self.encoded_octets += cost as u64;
+            }
+            _ => total += self.encode_precomputed(4, ":path".len(), PATH_NAME_HASH, path),
         }
-        self.encoded_octets += total as u64;
+        // The constant request fields: static name match only (their values
+        // differ from the static table's), dynamic probe via fully const
+        // fingerprints — no hashing at all on the hot path.
+        total += self.encode_const_field(58, USER_AGENT_ENTRY);
+        total += self.encode_const_field(19, ACCEPT_ENTRY);
+        total += self.encode_const_field(16, ACCEPT_ENCODING_ENTRY);
+        total += self.encode_const_field(17, ACCEPT_LANGUAGE_ENTRY);
+        if let Some(cookie) = cookie {
+            total += self.encode_precomputed(32, "cookie".len(), COOKIE_NAME_HASH, cookie);
+        }
         total
+    }
+
+    /// Encode a field whose complete fingerprint is a compile-time constant
+    /// (the fixed user-agent / accept-* block).
+    fn encode_const_field(&mut self, name_index: usize, probe: DynamicEntry) -> usize {
+        let cost = match self.index.get(&probe) {
+            Some(seq) => integer_octets(self.dynamic_index_of(*seq) as u64, 7),
+            None => {
+                let name_cost = integer_octets(name_index as u64, 6);
+                let value_cost = string_octets(probe.value_len as usize);
+                self.insert(probe);
+                name_cost + value_cost
+            }
+        };
+        self.uncompressed_octets += (probe.name_len + probe.value_len + 4) as u64;
+        self.encoded_octets += cost as u64;
+        cost
     }
 
     /// The standard request pseudo-header block for an HTTPS GET.
@@ -216,7 +382,7 @@ impl HpackContext {
             Header::new(":scheme", "https"),
             Header::new(":authority", authority),
             Header::new(":path", path),
-            Header::new("user-agent", "Mozilla/5.0 (X11; Linux x86_64) Chromium/87.0.4280.88"),
+            Header::new("user-agent", REQUEST_USER_AGENT),
             Header::new("accept", "*/*"),
             Header::new("accept-encoding", "gzip, deflate, br"),
             Header::new("accept-language", "en-US,en;q=0.9"),
@@ -227,6 +393,30 @@ impl HpackContext {
         headers
     }
 }
+
+/// The user-agent string of the measurement browser (Chromium 87).
+const REQUEST_USER_AGENT: &str = "Mozilla/5.0 (X11; Linux x86_64) Chromium/87.0.4280.88";
+
+// Compile-time name hashes of the request block's variable header fields.
+const AUTHORITY_NAME_HASH: u64 = fnv1a(b":authority");
+const PATH_NAME_HASH: u64 = fnv1a(b":path");
+const COOKIE_NAME_HASH: u64 = fnv1a(b"cookie");
+
+/// A fully const dynamic-table fingerprint for a constant (name, value) pair.
+const fn const_entry(name: &str, value: &str) -> DynamicEntry {
+    DynamicEntry {
+        name_hash: fnv1a(name.as_bytes()),
+        value_hash: fnv1a(value.as_bytes()),
+        name_len: name.len() as u32,
+        value_len: value.len() as u32,
+    }
+}
+
+// Compile-time fingerprints of the request block's constant fields.
+const USER_AGENT_ENTRY: DynamicEntry = const_entry("user-agent", REQUEST_USER_AGENT);
+const ACCEPT_ENTRY: DynamicEntry = const_entry("accept", "*/*");
+const ACCEPT_ENCODING_ENTRY: DynamicEntry = const_entry("accept-encoding", "gzip, deflate, br");
+const ACCEPT_LANGUAGE_ENTRY: DynamicEntry = const_entry("accept-language", "en-US,en;q=0.9");
 
 /// Octets needed for an HPACK prefix-coded integer with an `n`-bit prefix.
 fn integer_octets(value: u64, prefix_bits: u32) -> usize {
@@ -328,6 +518,39 @@ mod tests {
         }
         assert!(ctx.compression_ratio() < early);
         assert!(ctx.compression_ratio() < 0.3);
+    }
+
+    #[test]
+    fn request_fast_path_matches_header_list_encoding() {
+        let mut fast = HpackContext::default();
+        let mut slow = HpackContext::default();
+        let cases: &[(&str, &str, Option<&str>)] = &[
+            ("www.example.com", "/", Some("sid=0123456789abcdef")),
+            ("www.example.com", "/assets/app.js", Some("sid=0123456789abcdef")),
+            ("img.example.com", "/logo.png", None),
+            ("www.example.com", "/assets/app.js", Some("sid=0123456789abcdef")),
+        ];
+        for (authority, path, cookie) in cases {
+            let a = fast.encode_request_size(authority, path, *cookie);
+            let b = slow.encode_block_size(&HpackContext::request_headers(authority, path, *cookie));
+            assert_eq!(a, b, "sizes diverge for {authority}{path}");
+        }
+        assert_eq!(fast.dynamic_entries(), slow.dynamic_entries());
+        assert_eq!(fast.dynamic_size(), slow.dynamic_size());
+        assert_eq!(fast.encoded_octets, slow.encoded_octets);
+        assert_eq!(fast.uncompressed_octets, slow.uncompressed_octets);
+    }
+
+    #[test]
+    fn reset_restores_a_cold_dictionary() {
+        let mut ctx = HpackContext::default();
+        let cold = ctx.encode_request_size("www.example.com", "/", None);
+        let warm = ctx.encode_request_size("www.example.com", "/", None);
+        assert!(warm < cold);
+        ctx.reset();
+        assert_eq!(ctx.dynamic_entries(), 0);
+        assert_eq!(ctx.dynamic_size(), 0);
+        assert_eq!(ctx.encode_request_size("www.example.com", "/", None), cold);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   request for another domain may ride an existing connection, and a
 //!   diagnosis of *why not* when it may not (the paper's CERT / IP causes).
 
+// The zero-allocation visit fast path made these hot paths clone-free;
+// keep them that way.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod connection;
 pub mod frame;
 pub mod hpack;
@@ -31,6 +36,6 @@ pub mod stream;
 pub use connection::{Connection, ConnectionError, ConnectionState};
 pub use frame::{Frame, FrameDecodeError, FrameType, OriginEntry};
 pub use hpack::{Header, HpackContext};
-pub use reuse::{ReuseDecision, ReuseRefusal};
+pub use reuse::{RefusalSet, ReuseDecision, ReuseRefusal};
 pub use settings::Settings;
 pub use stream::{StreamError, StreamId, StreamState};

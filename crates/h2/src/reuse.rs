@@ -46,6 +46,77 @@ pub enum ReuseRefusal {
     ConcurrencyExhausted,
 }
 
+impl ReuseRefusal {
+    /// All refusal reasons in declaration (= `Ord`) order.
+    pub const ALL: [ReuseRefusal; 8] = [
+        ReuseRefusal::SchemePortMismatch,
+        ReuseRefusal::IpMismatch,
+        ReuseRefusal::CertificateMismatch,
+        ReuseRefusal::ExcludedByServer,
+        ReuseRefusal::NotInOriginSet,
+        ReuseRefusal::CredentialsMismatch,
+        ReuseRefusal::NotAcceptingStreams,
+        ReuseRefusal::ConcurrencyExhausted,
+    ];
+
+    /// The bit this reason occupies in a [`RefusalSet`].
+    const fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of [`ReuseRefusal`]s packed into one copyable word — the
+/// allocation-free result the visit fast path keeps per candidate
+/// connection. Iteration order equals the sorted order of the equivalent
+/// deduplicated vector, so [`RefusalSet::to_vec`] reproduces exactly what
+/// [`evaluate`] reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RefusalSet(u16);
+
+impl RefusalSet {
+    /// The empty set (reuse allowed).
+    pub const EMPTY: RefusalSet = RefusalSet(0);
+
+    /// Add a reason.
+    pub fn insert(&mut self, reason: ReuseRefusal) {
+        self.0 |= reason.bit();
+    }
+
+    /// `true` if no reason is present (the connection is reusable).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if `reason` is present.
+    pub fn contains(self, reason: ReuseRefusal) -> bool {
+        self.0 & reason.bit() != 0
+    }
+
+    /// Number of distinct reasons.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The reasons in `Ord` order.
+    pub fn iter(self) -> impl Iterator<Item = ReuseRefusal> {
+        ReuseRefusal::ALL.into_iter().filter(move |reason| self.contains(*reason))
+    }
+
+    /// Materialise as the sorted, deduplicated vector [`evaluate`] reports.
+    pub fn to_vec(self) -> Vec<ReuseRefusal> {
+        self.iter().collect()
+    }
+
+    /// The decision this set denotes.
+    pub fn decision(self) -> ReuseDecision {
+        if self.is_empty() {
+            ReuseDecision::Reusable
+        } else {
+            ReuseDecision::Refused(self.to_vec())
+        }
+    }
+}
+
 /// The outcome of a reuse check.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReuseDecision {
@@ -158,24 +229,37 @@ pub fn evaluate(
     request_credentialed: bool,
     policy: &ReusePolicy,
 ) -> ReuseDecision {
-    let mut refusals: Vec<ReuseRefusal> = Vec::new();
+    evaluate_set(connection, target, target_ip, request_credentialed, policy).decision()
+}
+
+/// Allocation-free form of [`evaluate`]: the complete refusal set packed in
+/// one word (empty = reusable). This is what the visit fast path calls per
+/// candidate connection.
+pub fn evaluate_set(
+    connection: &Connection,
+    target: &Origin,
+    target_ip: IpAddr,
+    request_credentialed: bool,
+    policy: &ReusePolicy,
+) -> RefusalSet {
+    let mut refusals = RefusalSet::EMPTY;
 
     if !connection.initial_origin.same_scheme_port(target) {
-        refusals.push(ReuseRefusal::SchemePortMismatch);
+        refusals.insert(ReuseRefusal::SchemePortMismatch);
     }
 
     if connection.state != ConnectionState::Open {
-        refusals.push(ReuseRefusal::NotAcceptingStreams);
+        refusals.insert(ReuseRefusal::NotAcceptingStreams);
     } else if !connection.can_open_stream() {
-        refusals.push(ReuseRefusal::ConcurrencyExhausted);
+        refusals.insert(ReuseRefusal::ConcurrencyExhausted);
     }
 
     if connection.excluded_domains.contains(&target.host) {
-        refusals.push(ReuseRefusal::ExcludedByServer);
+        refusals.insert(ReuseRefusal::ExcludedByServer);
     }
 
     if !connection.certificate.covers(&target.host) {
-        refusals.push(ReuseRefusal::CertificateMismatch);
+        refusals.insert(ReuseRefusal::CertificateMismatch);
     }
 
     let origin_set_match = origin_set_contains(connection, &target.host);
@@ -186,26 +270,20 @@ pub fn evaluate(
         // skip the IP rule, which membership would have replaced); relaxed
         // clients simply fall back to the plain RFC 7540 IP check.
         Some(false) if policy.honor_origin_frame && policy.strict_origin_set => {
-            refusals.push(ReuseRefusal::NotInOriginSet);
+            refusals.insert(ReuseRefusal::NotInOriginSet);
         }
         _ => {
             if policy.require_ip_match && connection.remote_ip != target_ip {
-                refusals.push(ReuseRefusal::IpMismatch);
+                refusals.insert(ReuseRefusal::IpMismatch);
             }
         }
     }
 
     if policy.follow_fetch_credentials && connection.credentialed != request_credentialed {
-        refusals.push(ReuseRefusal::CredentialsMismatch);
+        refusals.insert(ReuseRefusal::CredentialsMismatch);
     }
 
-    if refusals.is_empty() {
-        ReuseDecision::Reusable
-    } else {
-        refusals.sort_unstable();
-        refusals.dedup();
-        ReuseDecision::Refused(refusals)
-    }
+    refusals
 }
 
 /// Whether the connection's origin set (if announced) contains `host`.
@@ -238,7 +316,7 @@ mod tests {
             ConnectionId(1),
             Origin::https(names[0]),
             ip,
-            store.get(ids[0]).unwrap().clone(),
+            std::sync::Arc::clone(store.get_arc(ids[0]).unwrap()),
             credentialed,
             Instant::EPOCH,
             Settings::default(),

@@ -125,10 +125,12 @@ impl ProbeExperiment {
             for (pair_index, pair) in self.config.pairs.iter().enumerate() {
                 let mut overlapping = 0u32;
                 for resolver in resolvers.iter_mut() {
-                    let origin = resolver.resolve(authority, &pair.origin, now);
+                    // `resolve` hands out a borrow of the resolver's cache;
+                    // clone the first answer so the second lookup can run.
+                    let origin = resolver.resolve(authority, &pair.origin, now).cloned();
                     let previous = resolver.resolve(authority, &pair.previous, now);
                     if let (Ok(origin), Ok(previous)) = (origin, previous) {
-                        if origin.overlaps(&previous) {
+                        if origin.overlaps(previous) {
                             overlapping += 1;
                         }
                     }

@@ -9,18 +9,36 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A certificate-issuing organisation, identified by its Issuer `O=` string.
+///
+/// The organisation string is shared (`Arc<str>`): the population generator
+/// stamps an issuer on every generated certificate, so cloning an issuer must
+/// be a refcount bump, not a string copy.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Issuer {
-    organization: String,
+    organization: Arc<str>,
+}
+
+/// One shared instance per well-known CA, so the per-site constructor calls
+/// in the population generator allocate nothing.
+fn well_known(slot: &'static std::sync::OnceLock<Arc<str>>, name: &str) -> Issuer {
+    Issuer { organization: Arc::clone(slot.get_or_init(|| Arc::from(name))) }
+}
+
+macro_rules! well_known_issuer {
+    ($name:expr) => {{
+        static SLOT: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+        well_known(&SLOT, $name)
+    }};
 }
 
 impl Issuer {
     /// An issuer with an arbitrary organisation name.
     pub fn named(organization: &str) -> Self {
-        Issuer { organization: organization.to_string() }
+        Issuer { organization: Arc::from(organization) }
     }
 
     /// The issuer organisation string as it appears in report tables.
@@ -31,62 +49,62 @@ impl Issuer {
     /// Let's Encrypt — free, automated; the default for small operators and
     /// the long tail of per-subdomain certbot certificates.
     pub fn lets_encrypt() -> Self {
-        Issuer::named("Let's Encrypt")
+        well_known_issuer!("Let's Encrypt")
     }
 
     /// Google Trust Services — issues for Google's own ad/analytics domains.
     pub fn google_trust_services() -> Self {
-        Issuer::named("Google Trust Services")
+        well_known_issuer!("Google Trust Services")
     }
 
     /// DigiCert Inc — large commercial CA.
     pub fn digicert() -> Self {
-        Issuer::named("DigiCert Inc")
+        well_known_issuer!("DigiCert Inc")
     }
 
     /// Sectigo Limited.
     pub fn sectigo() -> Self {
-        Issuer::named("Sectigo Limited")
+        well_known_issuer!("Sectigo Limited")
     }
 
     /// Cloudflare, Inc. — certificates for customers fronted by Cloudflare.
     pub fn cloudflare() -> Self {
-        Issuer::named("Cloudflare, Inc.")
+        well_known_issuer!("Cloudflare, Inc.")
     }
 
     /// GlobalSign nv-sa.
     pub fn globalsign() -> Self {
-        Issuer::named("GlobalSign nv-sa")
+        well_known_issuer!("GlobalSign nv-sa")
     }
 
     /// Amazon — certificates for CloudFront / ACM customers.
     pub fn amazon() -> Self {
-        Issuer::named("Amazon")
+        well_known_issuer!("Amazon")
     }
 
     /// GoDaddy.com, Inc.
     pub fn godaddy() -> Self {
-        Issuer::named("GoDaddy.com, Inc.")
+        well_known_issuer!("GoDaddy.com, Inc.")
     }
 
     /// Yandex LLC.
     pub fn yandex() -> Self {
-        Issuer::named("Yandex LLC")
+        well_known_issuer!("Yandex LLC")
     }
 
     /// COMODO CA Limited.
     pub fn comodo() -> Self {
-        Issuer::named("COMODO CA Limited")
+        well_known_issuer!("COMODO CA Limited")
     }
 
     /// Microsoft Corporation.
     pub fn microsoft() -> Self {
-        Issuer::named("Microsoft Corporation")
+        well_known_issuer!("Microsoft Corporation")
     }
 
     /// The short code used in Table 4 / Table 10 ("LE", "GTS", "DCI", …).
     pub fn short_code(&self) -> &'static str {
-        match self.organization.as_str() {
+        match &*self.organization {
             "Let's Encrypt" => "LE",
             "Google Trust Services" => "GTS",
             "DigiCert Inc" => "DCI",

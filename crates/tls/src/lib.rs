@@ -24,6 +24,11 @@
 //! * [`handshake`] — a small TLS handshake cost model so the browser can
 //!   charge realistic connection-establishment latency.
 
+// The zero-allocation visit fast path made these hot paths clone-free;
+// keep them that way.
+#![deny(clippy::redundant_clone)]
+#![deny(clippy::clone_on_copy)]
+
 pub mod certificate;
 pub mod handshake;
 pub mod issuer;

@@ -13,18 +13,28 @@ use crate::policy::IssuancePolicy;
 use netsim_types::{DomainName, Duration, Instant};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Default validity of issued certificates (90 days, the Let's Encrypt norm).
 const DEFAULT_VALIDITY: Duration = Duration::from_days(90);
 
 /// The certificate inventory of a simulation run.
+///
+/// Certificates are stored behind [`Arc`] so that handing one to a simulated
+/// server (and from there to every connection that presents it) shares a
+/// single allocation instead of cloning the SAN list per connection. A store
+/// can also be *layered* over a shared immutable base
+/// ([`CertificateStore::with_base`]): ids continue after the base's, lookups
+/// consult both layers, and the newest certificate still wins SNI selection.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CertificateStore {
-    certificates: Vec<Certificate>,
+    certificates: Vec<Arc<Certificate>>,
     /// Exact-name index: domain → certificates listing it as a DNS SAN.
     by_domain: BTreeMap<DomainName, Vec<CertificateId>>,
     /// Wildcard index: zone → certificates listing `*.zone`.
     by_wildcard_zone: BTreeMap<DomainName, Vec<CertificateId>>,
+    /// Shared read-only certificates with ids `0..base.len()`.
+    base: Option<Arc<CertificateStore>>,
 }
 
 impl CertificateStore {
@@ -33,19 +43,35 @@ impl CertificateStore {
         Self::default()
     }
 
-    /// Number of issued certificates.
+    /// An empty store layered over a shared base: newly issued certificates
+    /// get ids continuing after the base's, and lookups consult both layers.
+    pub fn with_base(base: Arc<CertificateStore>) -> Self {
+        CertificateStore {
+            certificates: Vec::new(),
+            by_domain: BTreeMap::new(),
+            by_wildcard_zone: BTreeMap::new(),
+            base: Some(base),
+        }
+    }
+
+    /// Number of ids below which this store's own certificates start.
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map(|base| base.len()).unwrap_or(0)
+    }
+
+    /// Number of issued certificates (including any shared base).
     pub fn len(&self) -> usize {
-        self.certificates.len()
+        self.base_len() + self.certificates.len()
     }
 
     /// `true` if no certificate has been issued yet.
     pub fn is_empty(&self) -> bool {
-        self.certificates.is_empty()
+        self.len() == 0
     }
 
     /// Issue a single certificate with an explicit SAN list.
     pub fn issue(&mut self, issuer: Issuer, san: Vec<SanEntry>, not_before: Instant) -> CertificateId {
-        let id = CertificateId(self.certificates.len() as u64);
+        let id = CertificateId(self.len() as u64);
         let subject = san
             .first()
             .map(|entry| match entry {
@@ -61,7 +87,7 @@ impl CertificateStore {
                 SanEntry::Wildcard(z) => self.by_wildcard_zone.entry(*z).or_default().push(id),
             }
         }
-        self.certificates.push(cert);
+        self.certificates.push(Arc::new(cert));
         id
     }
 
@@ -79,35 +105,88 @@ impl CertificateStore {
 
     /// Fetch a certificate by id.
     pub fn get(&self, id: CertificateId) -> Option<&Certificate> {
-        self.certificates.get(id.0 as usize)
+        self.get_arc(id).map(Arc::as_ref)
     }
 
-    /// All certificates (iteration order = issuance order).
-    pub fn iter(&self) -> impl Iterator<Item = &Certificate> {
-        self.certificates.iter()
+    /// Fetch the shared handle for a certificate by id. Cloning the handle
+    /// shares the certificate without copying its SAN list.
+    pub fn get_arc(&self, id: CertificateId) -> Option<&Arc<Certificate>> {
+        let index = id.0 as usize;
+        let base_len = self.base_len();
+        if index < base_len {
+            self.base.as_ref().and_then(|base| base.get_arc(id))
+        } else {
+            self.certificates.get(index - base_len)
+        }
+    }
+
+    /// All certificates (iteration order = issuance order, deepest base
+    /// first — consistent with [`CertificateStore::len`] across any number
+    /// of base layers).
+    pub fn iter(&self) -> impl Iterator<Item = &Certificate> + '_ {
+        let mut refs = Vec::with_capacity(self.len());
+        self.collect_refs(&mut refs);
+        refs.into_iter()
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a Certificate>) {
+        if let Some(base) = &self.base {
+            base.collect_refs(out);
+        }
+        out.extend(self.certificates.iter().map(Arc::as_ref));
     }
 
     /// The certificates valid for `domain` (exact or wildcard match),
     /// most recently issued first — the order a server would prefer when
     /// selecting a certificate for an SNI name.
     pub fn certificates_for(&self, domain: &DomainName) -> Vec<&Certificate> {
-        let mut ids: Vec<CertificateId> = Vec::new();
-        if let Some(exact) = self.by_domain.get(domain) {
-            ids.extend(exact.iter().copied());
-        }
-        if let Some(parent) = domain.parent() {
-            if let Some(wc) = self.by_wildcard_zone.get(&parent) {
-                ids.extend(wc.iter().copied());
-            }
-        }
+        let mut ids = Vec::new();
+        self.matching_ids(domain, &mut ids);
         ids.sort_unstable_by_key(|id| std::cmp::Reverse(id.0));
         ids.dedup();
         ids.iter().filter_map(|id| self.get(*id)).collect()
     }
 
+    /// Collect the ids of certificates matching `domain` in this layer and
+    /// any base layer.
+    fn matching_ids(&self, domain: &DomainName, out: &mut Vec<CertificateId>) {
+        if let Some(exact) = self.by_domain.get(domain) {
+            out.extend(exact.iter().copied());
+        }
+        if let Some(parent) = domain.parent() {
+            if let Some(wc) = self.by_wildcard_zone.get(&parent) {
+                out.extend(wc.iter().copied());
+            }
+        }
+        if let Some(base) = &self.base {
+            base.matching_ids(domain, out);
+        }
+    }
+
     /// The certificate a server presents for SNI name `domain`, if any.
     pub fn select_for_sni(&self, domain: &DomainName) -> Option<&Certificate> {
-        self.certificates_for(domain).into_iter().next()
+        self.select_arc_for_sni(domain).map(Arc::as_ref)
+    }
+
+    /// The shared handle for the certificate a server presents for SNI name
+    /// `domain`, if any — the allocation-free form the visit hot path uses.
+    pub fn select_arc_for_sni(&self, domain: &DomainName) -> Option<&Arc<Certificate>> {
+        // Newest (highest-id) match wins; local ids are always newer than
+        // base ids, so check the local indexes before the base.
+        let mut best: Option<CertificateId> = None;
+        if let Some(exact) = self.by_domain.get(domain) {
+            best = exact.iter().copied().max();
+        }
+        if let Some(parent) = domain.parent() {
+            if let Some(wc) = self.by_wildcard_zone.get(&parent) {
+                best = best.into_iter().chain(wc.iter().copied()).max();
+            }
+        }
+        match (best, &self.base) {
+            (Some(id), _) => self.get_arc(id),
+            (None, Some(base)) => base.select_arc_for_sni(domain),
+            (None, None) => None,
+        }
     }
 
     /// `true` if any certificate in the store covers `domain`.
@@ -118,7 +197,7 @@ impl CertificateStore {
     /// Per-issuer (certificate count, unique exact DNS names) statistics.
     pub fn issuer_statistics(&self) -> BTreeMap<Issuer, IssuerStats> {
         let mut stats: BTreeMap<Issuer, (usize, BTreeSet<DomainName>)> = BTreeMap::new();
-        for cert in &self.certificates {
+        for cert in self.iter() {
             let entry = stats.entry(cert.issuer.clone()).or_default();
             entry.0 += 1;
             for name in cert.dns_names() {

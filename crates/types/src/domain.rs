@@ -148,38 +148,50 @@ impl DomainName {
             && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
     }
 
-    /// The public suffix of this name (e.g. `co.uk` for `shop.example.co.uk`).
-    pub fn public_suffix(&self) -> DomainName {
+    /// Byte length of this name's public suffix: a strict multi-label suffix
+    /// match from [`MULTI_LABEL_SUFFIXES`], else the last label (the whole
+    /// name when it has a single label). Purely textual — the shared core of
+    /// [`DomainName::public_suffix`] and [`DomainName::registrable`], which
+    /// run on population-generation and DNS hot paths and must not touch the
+    /// intern table until the final answer.
+    fn public_suffix_len(&self) -> usize {
         for suffix in MULTI_LABEL_SUFFIXES {
-            // Textual pre-check first: only the winning suffix touches the
-            // intern table (this runs on population-generation hot paths).
             let is_strict_subdomain = self.name.len() > suffix.len()
                 && self.name.ends_with(suffix)
                 && self.name.as_bytes()[self.name.len() - suffix.len() - 1] == b'.';
             if is_strict_subdomain {
-                return DomainName::from_canonical(suffix);
+                return suffix.len();
             }
         }
-        let last = self.labels().last().unwrap_or_default();
-        DomainName::from_canonical(last)
+        match self.name.rfind('.') {
+            Some(idx) => self.name.len() - idx - 1,
+            None => self.name.len(),
+        }
+    }
+
+    /// The public suffix of this name (e.g. `co.uk` for `shop.example.co.uk`).
+    pub fn public_suffix(&self) -> DomainName {
+        let suffix_len = self.public_suffix_len();
+        if suffix_len == self.name.len() {
+            return *self;
+        }
+        DomainName::from_canonical(&self.name[self.name.len() - suffix_len..])
     }
 
     /// The registrable ("second-level") domain: the public suffix plus one
     /// label. For `www.google-analytics.com` this is `google-analytics.com`.
     /// A name that *is* a public suffix is returned unchanged.
     pub fn registrable(&self) -> DomainName {
-        let suffix = self.public_suffix();
-        if self == &suffix {
+        let suffix_len = self.public_suffix_len();
+        if suffix_len == self.name.len() {
+            // The name is its own suffix (single label).
             return *self;
         }
-        let suffix_labels = suffix.label_count();
-        let own: Vec<&str> = self.labels().collect();
-        if own.len() <= suffix_labels {
-            return *self;
-        }
-        let keep = suffix_labels + 1;
-        let name = own[own.len() - keep..].join(".");
-        DomainName::from_canonical(&name)
+        // `head` is everything before the suffix (exclusive of the dot); the
+        // registrable domain keeps one label ahead of the suffix.
+        let head = &self.name[..self.name.len() - suffix_len - 1];
+        let start = head.rfind('.').map(|idx| idx + 1).unwrap_or(0);
+        DomainName::from_canonical(&self.name[start..])
     }
 
     /// `true` if two names share the same registrable domain — the paper's

@@ -20,7 +20,7 @@
 //! which keeps every `BTreeMap`-backed report byte-identical regardless of
 //! thread count.
 
-use std::collections::HashMap;
+use crate::hash::FnvHashMap;
 use std::sync::{OnceLock, RwLock};
 
 /// A copyable handle to one interned canonical domain string.
@@ -63,13 +63,15 @@ impl std::fmt::Debug for DomainId {
 }
 
 struct InternTable {
-    ids: HashMap<&'static str, u32>,
+    // Deterministic FNV keys: the lookup happens on every domain parse and
+    // every `DomainName::parent` walk — SipHash was measurable there.
+    ids: FnvHashMap<&'static str, u32>,
     strings: Vec<&'static str>,
 }
 
 fn table() -> &'static RwLock<InternTable> {
     static TABLE: OnceLock<RwLock<InternTable>> = OnceLock::new();
-    TABLE.get_or_init(|| RwLock::new(InternTable { ids: HashMap::new(), strings: Vec::new() }))
+    TABLE.get_or_init(|| RwLock::new(InternTable { ids: FnvHashMap::default(), strings: Vec::new() }))
 }
 
 /// Intern a canonical (already validated + lowercased) string, returning its

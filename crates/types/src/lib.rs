@@ -13,6 +13,7 @@
 //! report tables without conversion layers.
 
 pub mod domain;
+pub mod hash;
 pub mod id;
 pub mod intern;
 pub mod ip;
@@ -22,6 +23,7 @@ pub mod rng;
 pub mod time;
 
 pub use domain::{DomainError, DomainName};
+pub use hash::{fnv1a, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use id::{ConnectionId, IdAllocator, PageId, RequestId, SiteId};
 pub use intern::{interned_domain_count, interned_domain_octets, DomainId};
 pub use ip::{IpAddr, Prefix};

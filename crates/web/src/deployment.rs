@@ -1,0 +1,131 @@
+//! Memoized service deployments: issue the third-party catalog's DNS zones,
+//! certificates and prefix announcements **once** per mitigation set and
+//! share them across population chunks.
+//!
+//! Generating a population installs two kinds of state into the environment:
+//! the *shared* deployment of the third-party service catalog (zones,
+//! certificates, AS prefixes — identical for every site) and the *per-site*
+//! state (first-party zones/certificates, request plans). The atlas scale
+//! scenario builds its population in hundreds of chunks, and before this
+//! layer each chunk re-issued the entire catalog deployment. A
+//! [`SharedDeployment`] is issued once per `(catalog, mitigation-set)` and
+//! layered underneath every chunk's environment via the base-sharing support
+//! in [`netsim_dns::Authority`], [`netsim_tls::CertificateStore`] and
+//! [`netsim_asdb::AsRegistry`]; chunk generation is then O(sites in the
+//! chunk) with the shared part O(distinct profiles), not O(sites).
+//!
+//! Observational equivalence with per-chunk issuance — same answers, same
+//! certificates, same prefix allocation — is property-tested in
+//! `crates/web/tests/deployment_equivalence.rs`.
+
+use crate::population::install_service;
+use crate::services::ServiceCatalog;
+use netsim_asdb::AsRegistry;
+use netsim_dns::Authority;
+use netsim_tls::CertificateStore;
+use netsim_types::MitigationSet;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The immutable, shareable deployment of one service catalog under one
+/// mitigation set.
+#[derive(Debug)]
+pub struct SharedDeployment {
+    /// Authoritative zones of every catalog service.
+    pub authority: Arc<Authority>,
+    /// Certificates of every catalog service (ids `0..len`).
+    pub certificates: Arc<CertificateStore>,
+    /// Prefix announcements of every catalog service; the allocator of a
+    /// layered registry continues after these.
+    pub registry: Arc<AsRegistry>,
+    /// The (already mitigated) catalog this deployment was issued from.
+    pub catalog: ServiceCatalog,
+    /// The mitigation set the deployment was issued under.
+    pub mitigations: MitigationSet,
+}
+
+impl SharedDeployment {
+    /// Issue the deployment: install every service of `catalog` (with
+    /// `mitigations` applied) into fresh authority/certificate/registry
+    /// structures, exactly as [`crate::PopulationBuilder::build`] would at
+    /// the start of a monolithic build.
+    pub fn issue(catalog: &ServiceCatalog, mitigations: MitigationSet) -> Arc<SharedDeployment> {
+        let mitigated = catalog.with_mitigations(mitigations);
+        let mut authority = Authority::new();
+        let mut certificates = CertificateStore::new();
+        let mut registry = AsRegistry::new();
+        for service in mitigated.services() {
+            install_service(&mut authority, &mut certificates, &mut registry, service);
+        }
+        Arc::new(SharedDeployment {
+            authority: Arc::new(authority),
+            certificates: Arc::new(certificates),
+            registry: Arc::new(registry),
+            catalog: mitigated,
+            mitigations,
+        })
+    }
+}
+
+/// A concurrent memo of [`SharedDeployment`]s keyed by mitigation set, for
+/// one service catalog. Issuing is O(catalog); every further request for the
+/// same mitigation set is a map lookup plus an `Arc` clone, so generating a
+/// population in N chunks issues the catalog once instead of N times.
+#[derive(Debug)]
+pub struct DeploymentCache {
+    catalog: ServiceCatalog,
+    cells: Mutex<HashMap<MitigationSet, Arc<SharedDeployment>>>,
+}
+
+impl DeploymentCache {
+    /// A cache issuing deployments of `catalog`.
+    pub fn new(catalog: ServiceCatalog) -> Self {
+        DeploymentCache { catalog, cells: Mutex::new(HashMap::new()) }
+    }
+
+    /// A cache for the standard catalog (what every scenario uses).
+    pub fn standard() -> Self {
+        DeploymentCache::new(ServiceCatalog::standard())
+    }
+
+    /// The memoized deployment for `mitigations`, issuing it on first use.
+    pub fn deployment(&self, mitigations: MitigationSet) -> Arc<SharedDeployment> {
+        let mut cells = self.cells.lock().expect("deployment cache poisoned");
+        Arc::clone(
+            cells.entry(mitigations).or_insert_with(|| SharedDeployment::issue(&self.catalog, mitigations)),
+        )
+    }
+
+    /// Number of distinct mitigation sets issued so far.
+    pub fn issued(&self) -> usize {
+        self.cells.lock().expect("deployment cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_types::Mitigation;
+
+    #[test]
+    fn deployments_are_issued_once_per_mitigation_set() {
+        let cache = DeploymentCache::standard();
+        let a = cache.deployment(MitigationSet::empty());
+        let b = cache.deployment(MitigationSet::empty());
+        assert!(Arc::ptr_eq(&a, &b), "same mitigation set must share one deployment");
+        assert_eq!(cache.issued(), 1);
+        let c = cache.deployment(MitigationSet::single(Mitigation::SynchronizedDns));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.issued(), 2);
+    }
+
+    #[test]
+    fn issued_deployment_contains_the_catalog_services() {
+        let deployment = SharedDeployment::issue(&ServiceCatalog::standard(), MitigationSet::empty());
+        assert!(deployment.authority.zone_count() > 0);
+        assert!(!deployment.certificates.is_empty());
+        let analytics = netsim_types::DomainName::literal("www.google-analytics.com");
+        assert!(deployment.authority.knows(&analytics));
+        assert!(deployment.certificates.has_coverage(&analytics));
+    }
+}

@@ -30,6 +30,13 @@ impl WebEnvironment {
         self.certificates.select_for_sni(domain)
     }
 
+    /// The shared handle for the certificate a server presents for SNI name
+    /// `domain` — cloning the handle shares the certificate without copying
+    /// its SAN list (the browser hot path's form).
+    pub fn certificate_arc_for(&self, domain: &DomainName) -> Option<&std::sync::Arc<Certificate>> {
+        self.certificates.select_arc_for_sni(domain)
+    }
+
     /// The AS announcing the prefix that contains `ip`.
     pub fn asn_for(&self, ip: IpAddr) -> Option<&AutonomousSystem> {
         self.registry.lookup(ip)

@@ -26,6 +26,7 @@
 //! ([`netsim_asdb::AsRegistry`]) and per-site fetch plans ([`resources`])
 //! into a [`environment::WebEnvironment`] the browser substrate can crawl.
 
+pub mod deployment;
 pub mod environment;
 pub mod population;
 pub mod profiles;
@@ -33,6 +34,7 @@ pub mod resources;
 pub mod services;
 pub mod site;
 
+pub use deployment::{DeploymentCache, SharedDeployment};
 pub use environment::WebEnvironment;
 pub use population::PopulationBuilder;
 pub use profiles::PopulationProfile;

@@ -1,16 +1,18 @@
 //! Building a population: services + sites → a crawlable [`WebEnvironment`].
 
+use crate::deployment::SharedDeployment;
 use crate::environment::WebEnvironment;
 use crate::profiles::PopulationProfile;
 use crate::resources::PlannedRequest;
 use crate::services::{DnsDeployment, ServiceCatalog, ThirdPartyService};
 use crate::site::{ShardingPlan, Website};
-use netsim_asdb::{well_known, AsCatalog};
-use netsim_dns::{LoadBalancePolicy, ZoneEntry};
+use netsim_asdb::{well_known, AsCatalog, AsRegistry};
+use netsim_dns::{Authority, LoadBalancePolicy, ZoneEntry};
 use netsim_fetch::RequestDestination;
-use netsim_tls::{IssuancePolicy, Issuer, IssuerCatalog};
+use netsim_tls::{CertificateStore, IssuancePolicy, Issuer, IssuerCatalog};
 use netsim_types::{DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, SimRng, SiteId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Subdomain labels used for first-party shards.
 const SHARD_LABELS: &[&str] = &["img", "static", "cdn", "assets", "media", "images", "shop", "api"];
@@ -58,22 +60,47 @@ pub struct PopulationBuilder {
     seed: u64,
     mitigations: MitigationSet,
     zipf_head: Option<(PopulationProfile, f64)>,
+    deployment: Option<Arc<SharedDeployment>>,
+    /// Sampling weights hoisted out of the per-site loop (one allocation per
+    /// builder instead of several per generated site).
+    tld_weights: Vec<f64>,
+    resource_kind_weights: Vec<f64>,
+    issuer_weights: Vec<f64>,
+    major_as_weights: Vec<f64>,
 }
 
 impl PopulationBuilder {
     /// A builder with the standard service catalog.
     pub fn new(profile: PopulationProfile, site_count: usize, seed: u64) -> Self {
+        let as_catalog = AsCatalog::default();
+        let issuers = IssuerCatalog::default_market();
         PopulationBuilder {
             profile,
             catalog: ServiceCatalog::standard(),
-            as_catalog: AsCatalog::default(),
-            issuers: IssuerCatalog::default_market(),
             site_count,
             site_offset: 0,
             seed,
             mitigations: MitigationSet::empty(),
             zipf_head: None,
+            deployment: None,
+            tld_weights: TLDS.iter().map(|(_, w)| *w).collect(),
+            resource_kind_weights: OWN_RESOURCE_KINDS.iter().map(|(_, _, w)| *w).collect(),
+            issuer_weights: issuers.weights(),
+            major_as_weights: as_catalog.major_weights(),
+            as_catalog,
+            issuers,
         }
+    }
+
+    /// Layer the population on a memoized [`SharedDeployment`] instead of
+    /// re-issuing the service catalog: the environment's authority,
+    /// certificate store and AS registry start as views over the shared
+    /// deployment, and only per-site state is generated locally. The
+    /// deployment must have been issued for this builder's mitigation set
+    /// (checked) — use [`crate::DeploymentCache`] to obtain one.
+    pub fn with_shared_deployment(mut self, deployment: Arc<SharedDeployment>) -> Self {
+        self.deployment = Some(deployment);
+        self
     }
 
     /// Generate the slice `[offset, offset + site_count)` of a larger
@@ -125,18 +152,45 @@ impl PopulationBuilder {
     /// Generate the population.
     pub fn build(&self) -> WebEnvironment {
         let root = SimRng::new(self.seed);
-        let mut env = WebEnvironment::default();
         let mut misc_installed: BTreeSet<usize> = BTreeSet::new();
-        let catalog = self.catalog.with_mitigations(self.mitigations);
+        let mitigated_catalog;
+        let (mut env, catalog): (WebEnvironment, &ServiceCatalog) = match &self.deployment {
+            // Layered build: the shared deployment already carries the
+            // catalog's zones/certificates/prefixes; start the environment
+            // as views over it and only generate per-site state.
+            Some(deployment) => {
+                assert_eq!(
+                    deployment.mitigations, self.mitigations,
+                    "shared deployment was issued under different mitigations"
+                );
+                let env = WebEnvironment {
+                    authority: Authority::with_base(Arc::clone(&deployment.authority)),
+                    certificates: CertificateStore::with_base(Arc::clone(&deployment.certificates)),
+                    registry: AsRegistry::with_base(Arc::clone(&deployment.registry)),
+                    sites: Vec::new(),
+                };
+                (env, &deployment.catalog)
+            }
+            None => {
+                mitigated_catalog = self.catalog.with_mitigations(self.mitigations);
+                let mut env = WebEnvironment::default();
+                for service in mitigated_catalog.services() {
+                    install_service(&mut env.authority, &mut env.certificates, &mut env.registry, service);
+                }
+                (env, &mitigated_catalog)
+            }
+        };
 
-        for service in catalog.services() {
-            install_service(&mut env, service);
-        }
+        // Hoisted per-build tables: service embed probabilities aligned with
+        // the catalog's service order (replacing a string-keyed lookup per
+        // service per site) and the shared own-resource path strings.
+        let caches = GenCaches::new(self, catalog);
 
         for local in 0..self.site_count {
             let index = self.site_offset + local;
             let mut rng = root.fork_indexed("site", index as u64);
-            let site = self.generate_site(&mut env, &catalog, &root, &mut misc_installed, index, &mut rng);
+            let site =
+                self.generate_site(&mut env, catalog, &caches, &root, &mut misc_installed, index, &mut rng);
             env.sites.push(site);
         }
         env
@@ -152,6 +206,7 @@ impl PopulationBuilder {
         &self,
         env: &mut WebEnvironment,
         catalog: &ServiceCatalog,
+        caches: &GenCaches,
         root: &SimRng,
         misc_installed: &mut BTreeSet<usize>,
         index: usize,
@@ -162,9 +217,11 @@ impl PopulationBuilder {
         // Per-site profile: the Zipf head draw (if configured) comes first so
         // the remaining sampling reads one coherent profile. Without a mix,
         // the stream is untouched and existing populations stay byte-stable.
-        let profile = match &self.zipf_head {
-            Some((head, exponent)) if rng.chance(Self::zipf_weight(index, *exponent)) => head,
-            _ => &self.profile,
+        let (profile, embed_probs) = match &self.zipf_head {
+            Some((head, exponent)) if rng.chance(Self::zipf_weight(index, *exponent)) => {
+                (head, caches.head_embed.as_deref().expect("head probs built with the head profile"))
+            }
+            _ => (&self.profile, caches.base_embed.as_slice()),
         };
 
         // Hosting: either fronted by Cloudflare or on a generic hoster.
@@ -177,8 +234,7 @@ impl PopulationBuilder {
         let issuer = if behind_cloudflare {
             Issuer::cloudflare()
         } else {
-            let weights = self.issuers.weights();
-            let pick = rng.pick_weighted_index(&weights).unwrap_or(0);
+            let pick = rng.pick_weighted_index(&self.issuer_weights).unwrap_or(0);
             self.issuers.issuer_at(pick).clone()
         };
 
@@ -237,25 +293,26 @@ impl PopulationBuilder {
         }
         env.certificates.issue_with_policy(issuer, &policy, &first_party, Instant::EPOCH);
 
-        // Fetch plan: document first.
-        let mut plan = vec![PlannedRequest::document(domain)];
+        // Fetch plan: document first. Typical plans run to a few dozen
+        // requests; reserving up front skips the growth reallocations.
+        let mut plan = Vec::with_capacity(48);
+        plan.push(PlannedRequest::document(domain));
 
         // Own sub-resources, spread over the first-party hosts.
         let (res_low, res_high) = profile.own_resource_range;
         let own_resources = rng.in_range(res_low..=res_high);
-        let kind_weights: Vec<f64> = OWN_RESOURCE_KINDS.iter().map(|(_, _, w)| *w).collect();
         for resource_index in 0..own_resources {
             let host = if first_party.len() == 1 || rng.chance(0.5) {
                 first_party[0]
             } else {
                 first_party[1 + rng.in_range(0..first_party.len() - 1)]
             };
-            let kind = rng.pick_weighted_index(&kind_weights).unwrap_or(0);
-            let (destination, extension, _) = OWN_RESOURCE_KINDS[kind];
+            let kind = rng.pick_weighted_index(&self.resource_kind_weights).unwrap_or(0);
+            let (destination, _, _) = OWN_RESOURCE_KINDS[kind];
             let size = rng.in_range(1_500u64..250_000);
             plan.push(PlannedRequest::subresource(
                 host,
-                &format!("/assets/resource-{resource_index}.{extension}"),
+                caches.resource_path(resource_index, kind),
                 destination,
                 0,
                 size,
@@ -264,8 +321,8 @@ impl PopulationBuilder {
 
         // Third-party services.
         let mut embedded = Vec::new();
-        for service in catalog.services() {
-            if !rng.chance(profile.embed_probability(&service.name)) {
+        for (service, embed_probability) in catalog.services().iter().zip(embed_probs) {
+            if !rng.chance(*embed_probability) {
                 continue;
             }
             embedded.push(service.name.clone());
@@ -284,15 +341,20 @@ impl PopulationBuilder {
             let destination =
                 if rng.chance(0.6) { RequestDestination::Script } else { RequestDestination::Image };
             let size = rng.in_range(1_000u64..120_000);
-            plan.push(PlannedRequest::subresource(misc_domain, "/embed/widget.js", destination, 0, size));
+            plan.push(PlannedRequest::subresource(
+                misc_domain,
+                Arc::clone(&caches.widget_path),
+                destination,
+                0,
+                size,
+            ));
         }
 
         Website { id: SiteId(index as u64), domain, sharding, embedded_services: embedded, plan }
     }
 
     fn site_domain(&self, index: usize, rng: &mut SimRng) -> DomainName {
-        let weights: Vec<f64> = TLDS.iter().map(|(_, w)| *w).collect();
-        let tld = TLDS[rng.pick_weighted_index(&weights).unwrap_or(0)].0;
+        let tld = TLDS[rng.pick_weighted_index(&self.tld_weights).unwrap_or(0)].0;
         DomainName::parse(&format!("{}-site-{index:06}.{tld}", self.profile.name))
             .expect("generated domain is valid")
     }
@@ -307,16 +369,15 @@ impl PopulationBuilder {
         // Deterministic regardless of which site touches the domain first.
         let mut rng = root.fork_indexed("misc-third-party", pool_index as u64);
         let autonomous_system = if rng.chance(0.35) {
-            let weights = self.as_catalog.major_weights();
-            let pick = rng.pick_weighted_index(&weights).unwrap_or(0);
+            let pick = rng.pick_weighted_index(&self.major_as_weights).unwrap_or(0);
             self.as_catalog.major_at(pick).clone()
         } else {
             self.as_catalog.generic_for(rng.in_range(0..1_000_000u32))
         };
         let prefix = env.registry.allocate_slash24(autonomous_system);
         env.authority.insert_entry(*domain, ZoneEntry::single(prefix.host(20)));
-        let weights = self.issuers.weights();
-        let issuer = self.issuers.issuer_at(rng.pick_weighted_index(&weights).unwrap_or(0)).clone();
+        let issuer =
+            self.issuers.issuer_at(rng.pick_weighted_index(&self.issuer_weights).unwrap_or(0)).clone();
         env.certificates.issue_with_policy(
             issuer,
             &IssuancePolicy::SharedSan,
@@ -326,29 +387,80 @@ impl PopulationBuilder {
     }
 }
 
+/// Per-build lookup tables hoisted out of the per-site generation loop:
+/// embed probabilities aligned with the catalog's service order and the
+/// shared path strings every site's plan reuses.
+struct GenCaches {
+    /// Embed probability per catalog service for the base profile.
+    base_embed: Vec<f64>,
+    /// Same for the Zipf head profile, when one is configured.
+    head_embed: Option<Vec<f64>>,
+    /// `resource_paths[resource_index * KINDS + kind]` — shared across sites.
+    resource_paths: Vec<Arc<str>>,
+    /// The misc third-party widget path.
+    widget_path: Arc<str>,
+}
+
+impl GenCaches {
+    fn new(builder: &PopulationBuilder, catalog: &ServiceCatalog) -> Self {
+        let base_embed =
+            catalog.services().iter().map(|s| builder.profile.embed_probability(&s.name)).collect();
+        let head_embed = builder
+            .zipf_head
+            .as_ref()
+            .map(|(head, _)| catalog.services().iter().map(|s| head.embed_probability(&s.name)).collect());
+        let max_resources = builder
+            .profile
+            .own_resource_range
+            .1
+            .max(builder.zipf_head.as_ref().map(|(head, _)| head.own_resource_range.1).unwrap_or(0));
+        let mut resource_paths = Vec::with_capacity(max_resources * OWN_RESOURCE_KINDS.len());
+        for resource_index in 0..max_resources {
+            for (_, extension, _) in OWN_RESOURCE_KINDS {
+                resource_paths
+                    .push(Arc::from(format!("/assets/resource-{resource_index}.{extension}").as_str()));
+            }
+        }
+        GenCaches { base_embed, head_embed, resource_paths, widget_path: Arc::from("/embed/widget.js") }
+    }
+
+    /// The shared path of the `resource_index`-th own resource of kind
+    /// `kind` (an index into [`OWN_RESOURCE_KINDS`]).
+    fn resource_path(&self, resource_index: usize, kind: usize) -> Arc<str> {
+        Arc::clone(&self.resource_paths[resource_index * OWN_RESOURCE_KINDS.len() + kind])
+    }
+}
+
 /// The shared pool of unrelated third-party domains.
 fn misc_domain_for(pool_index: usize) -> DomainName {
     DomainName::parse(&format!("cdn.thirdparty-{pool_index:04}.net")).expect("misc domain is valid")
 }
 
 /// Install one third-party service: DNS entries per IP cluster, certificates
-/// per certificate group, prefixes in the AS registry.
-fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
+/// per certificate group, prefixes in the AS registry. Takes the three
+/// deployment structures separately so that [`SharedDeployment::issue`] can
+/// install into standalone (environment-less) instances.
+pub(crate) fn install_service(
+    authority: &mut Authority,
+    certificates: &mut CertificateStore,
+    registry: &mut AsRegistry,
+    service: &ThirdPartyService,
+) {
     let hosting = &service.hosting;
     for cluster in &hosting.ip_clusters {
         match &cluster.deployment {
             DnsDeployment::SingleHost => {
-                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let prefix = registry.allocate_slash24(hosting.autonomous_system.clone());
                 let ip = prefix.host(10);
                 for domain in &cluster.domains {
-                    env.authority.insert_entry(*domain, ZoneEntry::single(ip));
+                    authority.insert_entry(*domain, ZoneEntry::single(ip));
                 }
             }
             DnsDeployment::UnsynchronizedPool { pool_size, answer_size } => {
-                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let prefix = registry.allocate_slash24(hosting.autonomous_system.clone());
                 let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
                 for domain in &cluster.domains {
-                    env.authority.insert_entry(
+                    authority.insert_entry(
                         *domain,
                         ZoneEntry::balanced(LoadBalancePolicy::PerResolverPool {
                             pool: pool.clone(),
@@ -359,10 +471,10 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
                 }
             }
             DnsDeployment::SynchronizedPool { pool_size, answer_size } => {
-                let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
+                let prefix = registry.allocate_slash24(hosting.autonomous_system.clone());
                 let pool: Vec<IpAddr> = (0..*pool_size).map(|i| prefix.host(10 + i as u64)).collect();
                 for domain in &cluster.domains {
-                    env.authority.insert_entry(
+                    authority.insert_entry(
                         *domain,
                         ZoneEntry::balanced(LoadBalancePolicy::SynchronizedPool {
                             pool: pool.clone(),
@@ -374,14 +486,14 @@ fn install_service(env: &mut WebEnvironment, service: &ThirdPartyService) {
             }
             DnsDeployment::DistinctNetworks => {
                 for domain in &cluster.domains {
-                    let prefix = env.registry.allocate_slash24(hosting.autonomous_system.clone());
-                    env.authority.insert_entry(*domain, ZoneEntry::single(prefix.host(10)));
+                    let prefix = registry.allocate_slash24(hosting.autonomous_system.clone());
+                    authority.insert_entry(*domain, ZoneEntry::single(prefix.host(10)));
                 }
             }
         }
     }
     for group in &hosting.certificate_groups {
-        env.certificates.issue_with_policy(
+        certificates.issue_with_policy(
             hosting.issuer.clone(),
             &IssuancePolicy::SharedSan,
             group,
@@ -406,7 +518,7 @@ fn append_service_requests(plan: &mut Vec<PlannedRequest>, service: &ThirdPartyS
         };
         let mut planned = PlannedRequest::subresource(
             request.domain,
-            &request.path,
+            Arc::clone(&request.path),
             request.destination,
             parent,
             request.body_size,

@@ -11,14 +11,26 @@
 use netsim_fetch::RequestDestination;
 use netsim_types::DomainName;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The shared root-document path.
+fn root_path() -> Arc<str> {
+    static ROOT: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+    Arc::clone(ROOT.get_or_init(|| Arc::from("/")))
+}
 
 /// One resource fetch in a site's load plan.
+///
+/// The path is an `Arc<str>`: the same handful of resource paths repeat
+/// across a whole generated population, so plans share the string
+/// allocations instead of cloning them per site (serde round-trips as a
+/// plain string).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PlannedRequest {
     /// Host serving the resource.
     pub domain: DomainName,
     /// Path of the resource.
-    pub path: String,
+    pub path: Arc<str>,
     /// Resource kind, which determines Fetch mode / credentials defaults.
     pub destination: RequestDestination,
     /// `true` if the embedding element carries `crossorigin="anonymous"` (or
@@ -36,7 +48,7 @@ impl PlannedRequest {
     pub fn document(domain: DomainName) -> Self {
         PlannedRequest {
             domain,
-            path: "/".to_string(),
+            path: root_path(),
             destination: RequestDestination::Document,
             anonymous: false,
             depends_on: None,
@@ -44,17 +56,18 @@ impl PlannedRequest {
         }
     }
 
-    /// A sub-resource triggered by the request at index `parent`.
+    /// A sub-resource triggered by the request at index `parent`. Accepts a
+    /// `&str` (allocates once) or a shared `Arc<str>` (allocation-free).
     pub fn subresource(
         domain: DomainName,
-        path: &str,
+        path: impl Into<Arc<str>>,
         destination: RequestDestination,
         parent: usize,
         body_size: u64,
     ) -> Self {
         PlannedRequest {
             domain,
-            path: path.to_string(),
+            path: path.into(),
             destination,
             anonymous: false,
             depends_on: Some(parent),
@@ -167,6 +180,6 @@ mod tests {
         let doc = PlannedRequest::document(d("shop.example.org"));
         assert_eq!(doc.depends_on, None);
         assert_eq!(doc.destination, RequestDestination::Document);
-        assert_eq!(doc.path, "/");
+        assert_eq!(&*doc.path, "/");
     }
 }

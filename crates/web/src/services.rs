@@ -26,8 +26,8 @@ use serde::{Deserialize, Serialize};
 pub struct ServiceRequest {
     /// Host serving the resource.
     pub domain: DomainName,
-    /// Resource path.
-    pub path: String,
+    /// Resource path (shared across every site embedding the service).
+    pub path: std::sync::Arc<str>,
     /// Resource kind (fixes Fetch mode/credentials defaults).
     pub destination: RequestDestination,
     /// `true` if the request is made without credentials (anonymous CORS).
@@ -52,7 +52,7 @@ impl ServiceRequest {
     ) -> Self {
         ServiceRequest {
             domain: DomainName::literal(domain),
-            path: path.to_string(),
+            path: std::sync::Arc::from(path),
             destination,
             anonymous: false,
             body_size,

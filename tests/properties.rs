@@ -110,7 +110,7 @@ fn reuse_connection(
         ConnectionId(1),
         Origin::https(initial),
         IpAddr::new(192, 0, 2, ip_index),
-        store.get(ids[0]).unwrap().clone(),
+        std::sync::Arc::clone(store.get_arc(ids[0]).unwrap()),
         credentialed,
         Instant::EPOCH,
         Settings::default(),

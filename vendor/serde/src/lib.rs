@@ -420,3 +420,66 @@ impl<T: Deserialize> Deserialize for Box<T> {
         T::deserialize_value(value).map(Box::new)
     }
 }
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        let items = value.as_array().ok_or_else(|| de::Error::custom("expected array"))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        String::deserialize_value(value).map(std::sync::Arc::from)
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(value).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(value).map(std::rc::Rc::new)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error> {
+        let items = value.as_array().ok_or_else(|| de::Error::custom("expected array"))?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| de::Error::custom("array length mismatch"))
+    }
+}
