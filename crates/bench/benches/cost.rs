@@ -1,0 +1,101 @@
+//! Benchmarks of the latency & cost accounting engine.
+//!
+//! The headline comparison is `visit_with_cost_accounting` vs
+//! `visit_no_cost_baseline`: the identical visit loop through the
+//! zero-allocation scratch fast path, with the per-visit
+//! [`netsim_cost::VisitTimeline`] accumulation switched on and off. The cost
+//! model's contract is that the delta stays within a few percent — a
+//! handful of integer adds per request plus the post-visit connection walk,
+//! no allocations (asserted by `crates/browser/tests/zero_alloc.rs`); the
+//! committed `BENCH_atlas.json` refresh recorded ~7 % on the full atlas,
+//! and CI's bench guard fails the build past 25 %.
+//!
+//! The `pricing` pair measures the read side: folding a crawl's worth of
+//! timelines into [`netsim_cost::CostTotals`] and re-pricing the totals
+//! under all three [`netsim_cost::LinkProfile`] presets.
+
+use connreuse_bench::bench_environment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
+use netsim_cost::{CostTotals, LinkProfile, VisitTimeline};
+use std::hint::black_box;
+
+fn bench_cost_accounting(c: &mut Criterion) {
+    let env = bench_environment();
+    let crawler = Crawler::new("cost-bench", BrowserConfig::alexa_measurement(), 0xC0FFEE);
+
+    let mut group = c.benchmark_group("cost");
+    group.sample_size(20);
+
+    group.bench_function("visit_with_cost_accounting", |b| {
+        let mut scratch = VisitScratch::without_netlog().with_cost_accounting(true);
+        b.iter(|| {
+            let mut totals = CostTotals::new();
+            for index in 0..env.sites.len() {
+                let _ = crawler.visit_site_into(&mut scratch, &env, index);
+                totals.absorb_visit(scratch.timeline());
+            }
+            black_box(totals)
+        })
+    });
+
+    group.bench_function("visit_no_cost_baseline", |b| {
+        let mut scratch = VisitScratch::without_netlog().with_cost_accounting(false);
+        b.iter(|| {
+            let mut requests = 0usize;
+            for index in 0..env.sites.len() {
+                let _ = crawler.visit_site_into(&mut scratch, &env, index);
+                requests += scratch.requests().len();
+            }
+            black_box(requests)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_pricing(c: &mut Criterion) {
+    // A crawl's worth of timelines, captured once.
+    let env = bench_environment();
+    let crawler = Crawler::new("cost-bench", BrowserConfig::alexa_measurement(), 0xC0FFEE);
+    let mut scratch = VisitScratch::without_netlog();
+    let timelines: Vec<VisitTimeline> = (0..env.sites.len())
+        .map(|index| {
+            let _ = crawler.visit_site_into(&mut scratch, &env, index);
+            *scratch.timeline()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("cost");
+    group.sample_size(50);
+
+    group.bench_function("timeline_fold", |b| {
+        b.iter(|| {
+            let mut totals = CostTotals::new();
+            for timeline in &timelines {
+                totals.absorb_visit(timeline);
+            }
+            black_box(totals)
+        })
+    });
+
+    group.bench_function("reprice_under_all_profiles", |b| {
+        let mut totals = CostTotals::new();
+        for timeline in &timelines {
+            totals.absorb_visit(timeline);
+        }
+        let profiles = LinkProfile::presets();
+        b.iter(|| {
+            let mut millis = 0u64;
+            for profile in &profiles {
+                millis += totals.setup_time(profile).as_millis();
+            }
+            black_box(millis)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_accounting, bench_pricing);
+criterion_main!(benches);

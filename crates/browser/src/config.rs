@@ -6,6 +6,7 @@
 //! plus the one deliberate patch the authors apply for their second Alexa
 //! run, ignoring the Fetch credentials flag (`privacy_mode`).
 
+use netsim_cost::LinkProfile;
 use netsim_dns::{ResolverId, Vantage};
 use netsim_h2::reuse::ReusePolicy;
 use netsim_tls::HandshakeConfig;
@@ -43,6 +44,11 @@ pub struct BrowserConfig {
     pub base_rtt_ms: u64,
     /// Downstream bandwidth in bytes per millisecond (~ kB/ms).
     pub bandwidth_bytes_per_ms: u64,
+    /// Packet-loss probability of the access link in parts per million.
+    /// Handshake round trips are retransmission-inflated accordingly
+    /// (`netsim_cost::loss_retransmit_extra`); 0 — the measurement default —
+    /// reproduces the historical loss-free behaviour exactly.
+    pub loss_ppm: u32,
     /// How connection end times are generated.
     pub duration_model: ConnectionDurationModel,
     /// Page-load timeout (requests beyond it are dropped).
@@ -74,6 +80,7 @@ impl Default for BrowserConfig {
             handshake: HandshakeConfig::default(),
             base_rtt_ms: 30,
             bandwidth_bytes_per_ms: 6_000,
+            loss_ppm: 0,
             duration_model: ConnectionDurationModel::IdleTimeouts {
                 close_probability: 0.035,
                 median_lifetime_secs: 122,
@@ -139,6 +146,17 @@ impl BrowserConfig {
             ..BrowserConfig::default()
         }
     }
+
+    /// Run this configuration over the given network path: RTT, bandwidth
+    /// and loss come from the [`LinkProfile`]; every policy knob is left
+    /// untouched. One profile knob turns any scenario into a family of
+    /// workloads (datacenter / broadband / lossy cellular).
+    pub fn over_link(mut self, link: &LinkProfile) -> Self {
+        self.base_rtt_ms = link.rtt_ms;
+        self.bandwidth_bytes_per_ms = link.bandwidth_bytes_per_ms;
+        self.loss_ppm = link.loss_ppm;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +204,22 @@ mod tests {
         assert!(cfg.disable_quic);
         assert!(cfg.disable_field_trials);
         assert_eq!(cfg.page_timeout, Duration::from_secs(300));
+        assert_eq!(cfg.loss_ppm, 0, "the measurement setup models a loss-free path");
         assert!(matches!(cfg.duration_model, ConnectionDurationModel::IdleTimeouts { .. }));
+    }
+
+    #[test]
+    fn link_profiles_set_only_the_path_parameters() {
+        let cell = BrowserConfig::alexa_measurement().over_link(&LinkProfile::lossy_cellular());
+        assert_eq!(cell.base_rtt_ms, 120);
+        assert_eq!(cell.bandwidth_bytes_per_ms, 1_500);
+        assert_eq!(cell.loss_ppm, 20_000);
+        // Policy knobs are untouched by the link.
+        assert_eq!(cell.reuse_policy, BrowserConfig::alexa_measurement().reuse_policy);
+        assert_eq!(cell.page_timeout, Duration::from_secs(300));
+        // Broadband is the historical default path.
+        let broadband = BrowserConfig::alexa_measurement().over_link(&LinkProfile::broadband());
+        assert_eq!(broadband.base_rtt_ms, BrowserConfig::default().base_rtt_ms);
+        assert_eq!(broadband.bandwidth_bytes_per_ms, BrowserConfig::default().bandwidth_bytes_per_ms);
     }
 }

@@ -4,6 +4,7 @@ use crate::config::{BrowserConfig, ConnectionDurationModel};
 use crate::netlog::NetLogEventKind;
 use crate::scratch::{ScratchRequest, VisitScratch, VisitTimes};
 use crate::visit::PageVisit;
+use netsim_cost::loss_retransmit_extra;
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
 use netsim_fetch::partition_for_planned;
 use netsim_h2::reuse::evaluate_set;
@@ -99,6 +100,10 @@ impl Browser {
             if let Some(entry) = outcome {
                 finished_at =
                     finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
+                if scratch.cost_enabled() {
+                    scratch.timeline.requests += 1;
+                    scratch.timeline.body_octets += entry.body_size;
+                }
                 scratch.requests.push(entry);
             }
         }
@@ -130,6 +135,16 @@ impl Browser {
             scratch
                 .netlog
                 .record(finished_at, NetLogEventKind::PageLoadFinished { requests: scratch.requests.len() });
+        }
+        if scratch.cost_enabled() {
+            // Cold-window penalty: every opened connection pays the
+            // slow-start rounds its delivered bytes needed (a reused
+            // connection would have carried them on an already-grown
+            // window).
+            for connection in &scratch.connections {
+                scratch.timeline.cold_cwnd_rtts += u64::from(connection.cold_cwnd_rtts());
+            }
+            scratch.timeline.plt_millis = (finished_at - started_at).as_millis();
         }
         VisitTimes { started_at, finished_at }
     }
@@ -175,12 +190,28 @@ impl Browser {
         //    against every live session.
         let target_ip = {
             let netlog_enabled = scratch.netlog_enabled();
+            let cost_enabled = scratch.cost_enabled();
             let resolver = scratch.resolver_mut();
-            match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
+            let stats_before = resolver.stats();
+            // Extract what the rest of the visit needs while the answer
+            // borrow is live; the address list is cloned only for NetLog.
+            let outcome = match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
                 Ok(answer) => {
-                    let target_ip = answer.primary_address();
-                    if netlog_enabled {
-                        let addresses = answer.addresses.clone();
+                    Ok((answer.primary_address(), netlog_enabled.then(|| answer.addresses.clone())))
+                }
+                Err(_) => Err(()),
+            };
+            let stats_after = resolver.stats();
+            if cost_enabled {
+                scratch.timeline.dns_cache_hits += stats_after.cache_hits - stats_before.cache_hits;
+                scratch.timeline.dns_recursive_walks += stats_after.cache_misses - stats_before.cache_misses;
+                scratch.timeline.dns_authority_queries +=
+                    stats_after.authority_queries - stats_before.authority_queries;
+                scratch.timeline.dns_failures += stats_after.failures - stats_before.failures;
+            }
+            match outcome {
+                Ok((target_ip, addresses)) => {
+                    if let Some(addresses) = addresses {
                         scratch.netlog.record(
                             clock.now(),
                             NetLogEventKind::DnsResolved { domain: planned.domain, addresses },
@@ -188,7 +219,7 @@ impl Browser {
                     }
                     target_ip?
                 }
-                Err(_) => {
+                Err(()) => {
                     if netlog_enabled {
                         scratch
                             .netlog
@@ -236,6 +267,9 @@ impl Browser {
         // 3. Open a new session when nothing qualified.
         let index = match chosen {
             Some(index) => {
+                if scratch.cost_enabled() {
+                    scratch.timeline.connections_reused += 1;
+                }
                 if scratch.netlog_enabled() {
                     scratch.netlog.record(
                         clock.now(),
@@ -252,7 +286,19 @@ impl Browser {
                     env.certificate_arc_for(&planned.domain)
                         .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain)),
                 );
-                clock.advance(self.config.handshake.setup_latency(rtt));
+                let setup_rtts = u64::from(self.config.handshake.setup_rtts());
+                let setup = self.config.handshake.setup_latency(rtt)
+                    + loss_retransmit_extra(rtt, setup_rtts, self.config.loss_ppm);
+                clock.advance(setup);
+                if scratch.cost_enabled() {
+                    scratch.timeline.connections_opened += 1;
+                    scratch.timeline.handshake_rtts += setup_rtts;
+                    scratch.timeline.handshake_octets += self.config.handshake.handshake_octets();
+                    scratch.timeline.handshake_millis += setup.as_millis();
+                    if self.config.handshake.session_resumption {
+                        scratch.timeline.resumed_handshakes += 1;
+                    }
+                }
                 let id: ConnectionId = self.connection_ids.issue_as();
                 let mut connection = match scratch.take_shell() {
                     Some(mut shell) => {

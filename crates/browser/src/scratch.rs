@@ -17,7 +17,11 @@
 //! * the recursive resolver is flushed — not dropped — between visits, so
 //!   its cache lines recycle their answer buffers,
 //! * NetLog recording is optional: the measurement-compatible path keeps it,
-//!   the streaming classification path turns it off.
+//!   the streaming classification path turns it off,
+//! * the per-visit cost timeline ([`netsim_cost::VisitTimeline`]) is a
+//!   fixed-size `Copy` block of integer counters reset — never reallocated —
+//!   between visits, so latency/byte accounting rides the fast path for
+//!   free.
 //!
 //! In the steady state (after buffers have grown to the hot set's high-water
 //! mark) a page visit through [`crate::Browser::load_page_into`] performs
@@ -26,6 +30,7 @@
 
 use crate::netlog::NetLog;
 use crate::visit::{PageVisit, RequestLogEntry};
+use netsim_cost::VisitTimeline;
 use netsim_dns::{RecursiveResolver, ResolverConfig, ResolverId, Vantage};
 use netsim_fetch::RequestDestination;
 use netsim_h2::reuse::RefusalSet;
@@ -88,26 +93,51 @@ pub struct VisitScratch {
     /// `true` if any response of the current visit had a non-200 status —
     /// the streaming classifier falls back to the full path then.
     pub(crate) any_non_ok: bool,
+    /// The current visit's cost timeline (all zero while disabled). A block
+    /// of `Copy` integer counters — accounting never allocates.
+    pub(crate) timeline: VisitTimeline,
+    cost_enabled: bool,
 }
 
 impl VisitScratch {
     /// A scratch with NetLog recording enabled (the measurement-compatible
     /// default: materialised [`PageVisit`]s carry the full event log).
+    /// Cost accounting is on.
     pub fn new() -> Self {
-        VisitScratch { netlog_enabled: true, ..VisitScratch::default() }
+        VisitScratch { netlog_enabled: true, cost_enabled: true, ..VisitScratch::default() }
     }
 
     /// A scratch with NetLog recording disabled — the streaming
     /// classification path, where the event log would be dropped unread and
     /// its per-event allocations (answer address lists, request paths) would
-    /// break the zero-allocation property.
+    /// break the zero-allocation property. Cost accounting is on (it is
+    /// allocation-free by construction).
     pub fn without_netlog() -> Self {
-        VisitScratch { netlog_enabled: false, ..VisitScratch::default() }
+        VisitScratch { netlog_enabled: false, cost_enabled: true, ..VisitScratch::default() }
+    }
+
+    /// Enable or disable cost accounting (on by default). Disabling it skips
+    /// the timeline counters entirely — the no-cost baseline the `cost`
+    /// criterion group compares against.
+    pub fn with_cost_accounting(mut self, enabled: bool) -> Self {
+        self.cost_enabled = enabled;
+        self
     }
 
     /// `true` if this scratch records NetLog events.
     pub fn netlog_enabled(&self) -> bool {
         self.netlog_enabled
+    }
+
+    /// `true` if this scratch accumulates a cost timeline.
+    pub fn cost_enabled(&self) -> bool {
+        self.cost_enabled
+    }
+
+    /// The cost timeline of the current visit (all zero when cost accounting
+    /// is disabled).
+    pub fn timeline(&self) -> &VisitTimeline {
+        &self.timeline
     }
 
     /// Prepare for the next visit: recycle the previous visit's connections
@@ -118,6 +148,7 @@ impl VisitScratch {
         self.refusals.clear();
         self.netlog.clear();
         self.any_non_ok = false;
+        self.timeline.reset();
         let rebuild = match &self.resolver {
             Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
             None => true,

@@ -116,6 +116,43 @@ fn steady_state_visits_allocate_nothing() {
 }
 
 #[test]
+fn cost_accounting_keeps_the_zero_allocation_guarantee() {
+    // The latency/byte cost timeline must ride the fast path for free: with
+    // cost accounting explicitly enabled (the default) a steady-state pass
+    // performs zero heap allocations *and* produces non-trivial totals — so
+    // the zero cannot be explained by the accounting having been skipped.
+    let env = PopulationBuilder::new(PopulationProfile::alexa(), 40, 2024).build();
+    let crawler = Crawler::new("alloc-gate-cost", BrowserConfig::alexa_measurement(), 5);
+    let mut scratch = VisitScratch::without_netlog().with_cost_accounting(true);
+
+    // Warm-up to the buffers' high-water marks (see the main gate above).
+    for _ in 0..8 {
+        let allocations = allocations_in(|| {
+            for index in 0..env.sites.len() {
+                let _ = crawler.visit_site_into(&mut scratch, &env, index);
+            }
+        });
+        if allocations == 0 {
+            break;
+        }
+    }
+
+    let mut totals = netsim_cost::CostTotals::new();
+    let allocations = allocations_in(|| {
+        for index in 0..env.sites.len() {
+            let _ = crawler.visit_site_into(&mut scratch, &env, index);
+            totals.absorb_visit(scratch.timeline());
+        }
+    });
+    assert_eq!(allocations, 0, "cost accounting must not allocate on the visit fast path");
+    assert_eq!(totals.visits, 40);
+    assert!(totals.sums.connections_opened > 0, "the measured pass opened connections");
+    assert!(totals.sums.handshake_rtts >= 2 * totals.sums.connections_opened);
+    assert!(totals.sums.dns_recursive_walks > 0);
+    assert!(totals.sums.plt_millis > 0);
+}
+
+#[test]
 fn netlog_scratch_reaches_zero_allocations_once_netlog_is_disabled() {
     // The same loop with NetLog recording enabled must allocate (events own
     // address lists and path strings) — demonstrating that the measured

@@ -1,0 +1,41 @@
+//! # netsim-cost
+//!
+//! The latency & cost accounting engine: a deterministic **virtual-clock cost
+//! model** that prices every connection the simulated browser opens — and
+//! therefore every *redundant* connection it need not have opened.
+//!
+//! §2.1 of the paper motivates connection reuse with the price of each
+//! additional connection: a TCP handshake, one or two TLS round trips, a cold
+//! congestion window and duplicated header state. Goel et al. ("Domain-
+//! Sharding for Faster HTTP/2 in Lossy Cellular Networks") and Vulimiri et
+//! al. ("Low Latency via Redundancy") both argue that the *latency* impact of
+//! connection choices is the quantity operators act on. The rest of the
+//! workspace counts redundant connections; this crate prices them:
+//!
+//! * [`link`] — [`LinkProfile`]: RTT / bandwidth / loss presets (datacenter,
+//!   broadband, lossy cellular) that turn one scenario into a family of
+//!   workloads, plus the deterministic retransmission-latency model,
+//! * [`timeline`] — [`VisitTimeline`]: the fixed-size per-visit counter block
+//!   the browser's [`VisitScratch`] accumulates on the zero-allocation fast
+//!   path (plain integer fields — no per-request heap traffic, ever),
+//! * [`totals`] — [`CostTotals`]: the streaming, shard-mergeable aggregate of
+//!   visit timelines (mirroring `connreuse_core::Accumulator`), with the
+//!   derived RTT / byte / page-load-time metrics the `cost` experiment and
+//!   the atlas report render.
+//!
+//! The model is *accounting-only*: it observes the simulated visit (which
+//! already advances its own [`netsim_types::SimClock`] past handshakes and
+//! transfers) and tallies where the time and bytes went. Costs are stored as
+//! raw counts (round trips, octets, authority queries) so one crawl can be
+//! re-priced under any [`LinkProfile`] after the fact; the milliseconds the
+//! loader actually charged are recorded alongside for exactness.
+//!
+//! [`VisitScratch`]: ../netsim_browser/struct.VisitScratch.html
+
+pub mod link;
+pub mod timeline;
+pub mod totals;
+
+pub use link::{loss_retransmit_extra, LinkProfile};
+pub use timeline::VisitTimeline;
+pub use totals::CostTotals;

@@ -100,6 +100,9 @@ pub struct ResolverStats {
     pub cache_hits: u64,
     /// Queries that required contacting the authority.
     pub cache_misses: u64,
+    /// Individual authority queries performed by recursive walks (every
+    /// CNAME hop counts one — the latency unit the cost model charges).
+    pub authority_queries: u64,
     /// Resolutions that ended in an error.
     pub failures: u64,
 }
@@ -192,8 +195,16 @@ impl RecursiveResolver {
     ) -> Result<Answer, ResolutionError> {
         let (mut addresses, mut chain) = self.pool.pop().unwrap_or_default();
         let mut records = std::mem::take(&mut self.records);
-        let result =
-            Self::chase(authority, name, ctx, self.config.max_ttl, &mut addresses, &mut chain, &mut records);
+        let result = Self::chase(
+            authority,
+            name,
+            ctx,
+            self.config.max_ttl,
+            &mut addresses,
+            &mut chain,
+            &mut records,
+            &mut self.stats.authority_queries,
+        );
         records.clear();
         self.records = records;
         match result {
@@ -220,11 +231,13 @@ impl RecursiveResolver {
         addresses: &mut Vec<netsim_types::IpAddr>,
         chain: &mut Vec<DomainName>,
         records: &mut Vec<ResourceRecord>,
+        queries: &mut u64,
     ) -> Result<(DomainName, Instant), ResolutionError> {
         let mut current = *name;
         let mut min_ttl = max_ttl;
         for _ in 0..MAX_CNAME_DEPTH {
             records.clear();
+            *queries += 1;
             authority.query_into(&current, ctx, records);
             if records.is_empty() {
                 return if chain.is_empty() {
@@ -348,6 +361,25 @@ mod tests {
         let refreshed = r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(120)).unwrap();
         assert_ne!(first.addresses, refreshed.addresses);
         assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn authority_queries_count_every_cname_hop() {
+        let auth = authority();
+        let mut r = resolver();
+        // Direct name: one authority query.
+        r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.stats().authority_queries, 1);
+        // One CNAME hop: alias + target = two queries.
+        r.resolve(&auth, &d("www.example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.stats().authority_queries, 3);
+        // A cache hit performs no authority query at all.
+        r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
+        assert_eq!(r.stats().authority_queries, 3);
+        assert_eq!(r.stats().cache_hits, 1);
+        // A CNAME loop burns the full depth budget before giving up.
+        let _ = r.resolve(&auth, &d("a.example.com"), Instant::EPOCH);
+        assert_eq!(r.stats().authority_queries, 3 + 8);
     }
 
     #[test]

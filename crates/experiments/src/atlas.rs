@@ -49,6 +49,7 @@ use connreuse_core::{
     classify_site, site_from_visit, Accumulator, Cause, DatasetSummary, DurationModel, FastVisitClassifier,
 };
 use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
+use netsim_cost::{CostTotals, LinkProfile};
 use netsim_types::{interned_domain_count, interned_domain_octets, MitigationSet};
 use netsim_web::{DeploymentCache, PopulationBuilder, PopulationProfile};
 use serde::{Deserialize, Serialize};
@@ -190,6 +191,9 @@ pub struct AtlasReport {
     pub requests: usize,
     /// Total planned requests across all generated sites.
     pub planned_requests: usize,
+    /// Aggregate connection-setup cost of the whole crawl (shard-merged
+    /// visit timelines; deterministic).
+    pub cost: CostTotals,
     /// Wall-clock / memory metrics (excluded from [`AtlasReport::render`]).
     pub metrics: AtlasMetrics,
 }
@@ -202,6 +206,7 @@ impl PartialEq for AtlasReport {
             && self.chunk_count == other.chunk_count
             && self.requests == other.requests
             && self.planned_requests == other.planned_requests
+            && self.cost == other.cost
     }
 }
 
@@ -210,7 +215,7 @@ impl PartialEq for AtlasReport {
 pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
     let started = std::time::Instant::now();
     let chunks = config.chunks();
-    let mut results: Vec<Option<(Accumulator, AtlasTallies)>> = Vec::new();
+    let mut results: Vec<Option<(Accumulator, AtlasTallies, CostTotals)>> = Vec::new();
     results.resize_with(chunks.len(), || None);
 
     // One memoized service deployment for the whole run: the catalog's
@@ -242,10 +247,12 @@ pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
     // order-insensitive — but fixed order keeps the intent obvious).
     let mut accumulator = Accumulator::new();
     let mut tallies = AtlasTallies::default();
+    let mut cost = CostTotals::new();
     for result in results {
-        let (chunk_accumulator, chunk_tallies) = result.expect("every chunk ran");
+        let (chunk_accumulator, chunk_tallies, chunk_cost) = result.expect("every chunk ran");
         accumulator.merge(&chunk_accumulator);
         tallies.merge(&chunk_tallies);
+        cost.merge(&chunk_cost);
     }
 
     let elapsed = started.elapsed().as_secs_f64();
@@ -257,6 +264,7 @@ pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
         chunk_count: chunks.len(),
         requests: tallies.requests,
         planned_requests: tallies.planned_requests,
+        cost,
         metrics: AtlasMetrics {
             elapsed_secs: elapsed,
             sites_per_second: if elapsed > 0.0 { config.sites as f64 / elapsed } else { 0.0 },
@@ -288,7 +296,7 @@ impl ChunkWorker {
         config: &AtlasConfig,
         (start, len): (usize, usize),
         deployments: &DeploymentCache,
-    ) -> (Accumulator, AtlasTallies) {
+    ) -> (Accumulator, AtlasTallies, CostTotals) {
         // Both profiles carry the scenario name so generated domains read
         // `atlas-site-000123.<tld>` regardless of which profile a rank draws.
         let mut head = PopulationProfile::alexa();
@@ -307,12 +315,14 @@ impl ChunkWorker {
 
         let mut accumulator = Accumulator::new();
         let mut tallies = AtlasTallies { requests: 0, planned_requests: env.total_planned_requests() };
+        let mut cost = CostTotals::new();
         for index in 0..env.sites.len() {
             // Visit → classify → fold, all through the per-worker scratch:
             // nothing proportional to the page load is allocated, let alone
             // outlives this iteration.
             let times = crawler.visit_site_into(&mut self.scratch, &env, index);
             tallies.requests += self.scratch.requests().len();
+            cost.absorb_visit(self.scratch.timeline());
             if self.scratch.all_ok() {
                 let counts = classify_scratch(&mut self.classifier, &self.scratch, DurationModel::Recorded);
                 accumulator.observe_counts(&counts);
@@ -323,7 +333,7 @@ impl ChunkWorker {
                 accumulator.observe(&classify_site(&site_from_visit(&visit), DurationModel::Recorded));
             }
         }
-        (accumulator, tallies)
+        (accumulator, tallies, cost)
     }
 }
 
@@ -493,10 +503,36 @@ impl AtlasReport {
             format_percent(1.0),
         ]);
 
+        // Aggregate connection-setup cost, priced on the broadband profile
+        // the atlas crawl runs over. Pure integer sums of the per-visit
+        // timelines — byte-identical across thread counts.
+        let link = LinkProfile::broadband();
+        let sums = &self.cost.sums;
+        let mut cost =
+            TextTable::new("Atlas: aggregate connection-setup cost (broadband link)", &["metric", "value"]);
+        cost.push_row(["handshake RTTs", &format_count(sums.handshake_rtts as usize)]);
+        cost.push_row([
+            "handshake volume",
+            &format!("{:.1} MiB", sums.handshake_octets as f64 / (1024.0 * 1024.0)),
+        ]);
+        cost.push_row(["cold-cwnd RTTs", &format_count(sums.cold_cwnd_rtts as usize)]);
+        cost.push_row([
+            "DNS walks / authority queries",
+            &format!(
+                "{} / {}",
+                format_count(sums.dns_recursive_walks as usize),
+                format_count(sums.dns_authority_queries as usize)
+            ),
+        ]);
+        cost.push_row(["setup time", &format!("{:.1} s", self.cost.setup_time(&link).as_secs_f64())]);
+        cost.push_row(["mean page-load time", &format!("{:.1} ms", self.cost.mean_plt_millis())]);
+        cost.push_row(["reused requests", &format_percent(sums.reuse_share())]);
+
         format!(
-            "{}\n{}\nredundant sites: {} | redundant connections: {} | request completion: {}\n",
+            "{}\n{}\n{}\nredundant sites: {} | redundant connections: {} | request completion: {}\n",
             population.render(),
             causes.render(),
+            cost.render(),
             format_percent(self.summary.redundant_site_share()),
             format_percent(self.summary.redundant_connection_share()),
             format_percent(self.request_completion()),
@@ -522,6 +558,13 @@ mod tests {
         assert!(report.requests > 0);
         assert!(report.request_completion() > 0.5);
         assert!(report.metrics.sites_per_second > 0.0);
+        // Cost accounting rides every visit: one timeline per site, real
+        // handshake and DNS work behind them.
+        assert_eq!(report.cost.visits, 60);
+        assert!(report.cost.sums.handshake_rtts >= 2 * report.summary.total.connections as u64);
+        assert_eq!(report.cost.sums.requests as usize, report.requests);
+        assert!(report.cost.sums.dns_recursive_walks > 0);
+        assert!(report.cost.sums.cold_cwnd_rtts > 0);
     }
 
     #[test]
@@ -549,6 +592,7 @@ mod tests {
         assert_eq!(monolithic.summary, chunked.summary);
         assert_eq!(monolithic.requests, chunked.requests);
         assert_eq!(monolithic.planned_requests, chunked.planned_requests);
+        assert_eq!(monolithic.cost, chunked.cost, "cost totals must be chunk-layout invariant");
     }
 
     #[test]
@@ -587,6 +631,8 @@ mod tests {
             assert!(text.contains(cause.label()));
         }
         assert!(text.contains("redundant sites"));
+        assert!(text.contains("aggregate connection-setup cost"));
+        assert!(text.contains("handshake RTTs"));
         // Metrics stay out of the deterministic report.
         assert!(!text.contains("sites/s"));
         assert!(report.metrics.render().contains("sites/s"));

@@ -1,0 +1,99 @@
+//! `connreuse-cost` — price the 2^4 mitigation matrix in RTTs, handshake
+//! bytes and page-load time under three link profiles.
+//!
+//! ```text
+//! cargo run -p connreuse-experiments --bin connreuse-cost --release
+//! cargo run -p connreuse-experiments --bin connreuse-cost --release -- --quick
+//! cargo run -p connreuse-experiments --bin connreuse-cost --release -- \
+//!     --sites 4000 --seed 7 --threads 8 --out results/cost.txt
+//! ```
+
+use connreuse_experiments::cost::{run_cost, CostConfig};
+use std::path::PathBuf;
+
+struct CliOptions {
+    config: CostConfig,
+    out: Option<PathBuf>,
+    help: bool,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
+    let mut config = CostConfig::default();
+    let mut out = None;
+    let mut help = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sites" => config.sites = parse_value(&mut args, &arg)?,
+            "--seed" => config.seed = parse_value(&mut args, &arg)?,
+            "--threads" => config.threads = parse_value(&mut args, &arg)?,
+            "--quick" => config.sites = CostConfig::quick().sites,
+            "--out" => {
+                let value = args.next().ok_or("--out requires a file path")?;
+                out = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => help = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(CliOptions { config, out, help })
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
+    value.parse().map_err(|_| format!("invalid value for {flag}: {value}"))
+}
+
+fn print_usage() {
+    println!("connreuse-cost — price the mitigation matrix in RTTs, bytes and page-load time");
+    println!();
+    println!("usage: connreuse-cost [options]");
+    println!();
+    println!("options:");
+    println!("  --sites N    sites per cell population (default 1500)");
+    println!("  --seed N     root seed shared by every cell (default 20210420)");
+    println!("  --threads N  worker threads the 16 mitigation cells shard across");
+    println!("  --quick      use the small test-sized population (120 sites)");
+    println!("  --out FILE   also write the report to FILE");
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if options.help {
+        print_usage();
+        return;
+    }
+
+    eprintln!(
+        "pricing 16 mitigation cells under 3 link profiles: sites={} seed={} threads={}",
+        options.config.sites, options.config.seed, options.config.threads
+    );
+    let start = std::time::Instant::now();
+    let report = run_cost(&options.config);
+    eprintln!("cost sweep done in {:.1}s", start.elapsed().as_secs_f64());
+
+    let text = report.render();
+    println!("{text}");
+    if let Some(path) = &options.out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(error) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {error}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(error) = std::fs::write(path, &text) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,15 +23,19 @@
 //! | `table11` / `figure3` | the DNS probe panel and overlap time series |
 //! | `filters`  | the §4.3 HAR filter statistics |
 //! | `sweep`    | the 2^4 mitigation what-if matrix (§7 directions) |
+//! | `cost`     | the mitigation matrix priced in RTTs/bytes/PLT under three link profiles |
 //! | `atlas`    | the paper-scale population scenario (100 k sites, streaming aggregation) |
 //!
 //! Run everything with `cargo run -p connreuse-experiments --bin repro --release -- all`,
 //! just the mitigation matrix with
-//! `cargo run -p connreuse-experiments --bin connreuse-sweep --release`, or the
+//! `cargo run -p connreuse-experiments --bin connreuse-sweep --release`, its
+//! cost pricing with
+//! `cargo run -p connreuse-experiments --bin connreuse-cost --release`, or the
 //! full-scale atlas with
 //! `cargo run -p connreuse-experiments --bin connreuse-atlas --release`.
 
 pub mod atlas;
+pub mod cost;
 pub mod paper;
 pub mod render;
 pub mod runner;
@@ -39,6 +43,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use atlas::{run_atlas, AtlasConfig, AtlasMetrics, AtlasReport};
+pub use cost::{run_cost, CostCell, CostConfig, CostReport};
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
 pub use scenario::{Scenario, ScenarioConfig};

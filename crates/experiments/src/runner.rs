@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// 2^4 mitigation matrix (see [`crate::sweep`]).
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "atlas",
+    "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "cost", "atlas",
 ];
 
 /// The rendered result of one experiment.
@@ -56,6 +56,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "filters" => filters(scenario),
         "whatif" => whatif(scenario),
         "sweep" => sweep(scenario),
+        "cost" => cost(scenario),
         "atlas" => atlas(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
@@ -659,6 +660,14 @@ fn whatif(scenario: &Scenario) -> String {
 /// reproduces the `Alexa` column of Table 1.
 fn sweep(scenario: &Scenario) -> String {
     crate::sweep::run_sweep(&crate::sweep::SweepConfig::from_scenario(&scenario.config)).render()
+}
+
+/// The mitigation matrix priced in round trips, handshake bytes and
+/// page-load time under three link profiles (see [`crate::cost`] for the
+/// engine). Sized like the scenario's Alexa measurement, so the broadband
+/// baseline cell reproduces the sweep's measured-web crawl.
+fn cost(scenario: &Scenario) -> String {
+    crate::cost::run_cost(&crate::cost::CostConfig::from_scenario(&scenario.config)).render()
 }
 
 /// The atlas scale scenario (see [`crate::atlas`] for the engine): a

@@ -1,0 +1,90 @@
+//! Cold congestion windows: the transfer-time price of a fresh connection.
+//!
+//! §2.1 of the paper lists slow start among the costs of every additional
+//! connection: a new TCP connection starts with an initial window of ten
+//! segments (RFC 6928) and must double it once per round trip before it can
+//! saturate the path. A request that *reuses* an existing connection rides a
+//! window that earlier transfers already grew; a request on a redundant
+//! connection pays the growth again from scratch.
+//!
+//! The model here is the deterministic textbook form the cost accounting
+//! engine needs: [`slow_start_rounds`] counts the round trips an idealised
+//! slow start (window doubling every RTT, no loss) needs to deliver a byte
+//! total from a cold window. The count is **subadditive** — delivering two
+//! byte totals on one connection never takes more rounds than delivering
+//! them on two cold connections — which is exactly why coalescing saves
+//! latency and why the sweep's cost is monotone under mitigation.
+
+/// Initial congestion window: 10 segments of 1460 octets (RFC 6928 IW10).
+pub const INITIAL_CWND_OCTETS: u64 = 14_600;
+
+/// Round trips an idealised slow start needs to deliver `octets` from a cold
+/// window: the window starts at [`INITIAL_CWND_OCTETS`] and doubles each
+/// round until the running total covers the transfer. Zero octets cost zero
+/// rounds.
+pub fn slow_start_rounds(octets: u64) -> u32 {
+    let mut delivered = 0u64;
+    let mut window = INITIAL_CWND_OCTETS;
+    let mut rounds = 0u32;
+    while delivered < octets {
+        delivered = delivered.saturating_add(window);
+        window = window.saturating_mul(2);
+        rounds += 1;
+    }
+    rounds
+}
+
+impl crate::Connection {
+    /// Extra round trips this connection spent growing its cold congestion
+    /// window for the bytes it delivered — the per-connection slow-start
+    /// penalty the cost model charges.
+    pub fn cold_cwnd_rtts(&self) -> u32 {
+        slow_start_rounds(self.body_octets_received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_follow_the_doubling_schedule() {
+        assert_eq!(slow_start_rounds(0), 0);
+        assert_eq!(slow_start_rounds(1), 1);
+        assert_eq!(slow_start_rounds(INITIAL_CWND_OCTETS), 1);
+        assert_eq!(slow_start_rounds(INITIAL_CWND_OCTETS + 1), 2);
+        // 1 MiB: 14600 × (2^k − 1) ≥ 1 MiB at k = 7.
+        assert_eq!(slow_start_rounds(1 << 20), 7);
+    }
+
+    #[test]
+    fn rounds_are_monotone_in_octets() {
+        let mut previous = 0;
+        for octets in [0u64, 1, 10_000, 14_600, 20_000, 100_000, 1 << 20, 1 << 30] {
+            let rounds = slow_start_rounds(octets);
+            assert!(rounds >= previous, "rounds must not decrease at {octets}");
+            previous = rounds;
+        }
+    }
+
+    #[test]
+    fn coalescing_is_subadditive() {
+        // Delivering a + b on one warm-growing connection never needs more
+        // rounds than two cold connections delivering a and b separately —
+        // the inequality behind cost monotonicity under mitigation.
+        for a in [1u64, 5_000, 14_600, 50_000, 300_000, 1 << 22] {
+            for b in [1u64, 9_999, 20_000, 123_456, 1 << 21] {
+                assert!(
+                    slow_start_rounds(a + b) <= slow_start_rounds(a) + slow_start_rounds(b),
+                    "rounds({}) > rounds({a}) + rounds({b})",
+                    a + b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_transfers_do_not_overflow() {
+        assert!(slow_start_rounds(u64::MAX) < 64);
+    }
+}

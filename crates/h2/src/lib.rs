@@ -14,6 +14,9 @@
 //!   quantified,
 //! * [`settings`] — connection settings exchanged in SETTINGS frames,
 //! * [`stream`] — the per-stream state machine (§5.1),
+//! * [`cwnd`] — the cold congestion-window model: the slow-start round trips
+//!   a fresh connection pays that a reused one would not (the transfer-side
+//!   cost of redundancy, priced by `netsim-cost`),
 //! * [`connection`] — an HTTP/2 session: stream bookkeeping, flow control,
 //!   the TLS certificate presented at establishment, the ORIGIN set, 421
 //!   exclusions and GOAWAY handling,
@@ -27,6 +30,7 @@
 #![deny(clippy::clone_on_copy)]
 
 pub mod connection;
+pub mod cwnd;
 pub mod frame;
 pub mod hpack;
 pub mod reuse;
@@ -34,6 +38,7 @@ pub mod settings;
 pub mod stream;
 
 pub use connection::{Connection, ConnectionError, ConnectionState};
+pub use cwnd::{slow_start_rounds, INITIAL_CWND_OCTETS};
 pub use frame::{Frame, FrameDecodeError, FrameType, OriginEntry};
 pub use hpack::{Header, HpackContext};
 pub use reuse::{RefusalSet, ReuseDecision, ReuseRefusal};

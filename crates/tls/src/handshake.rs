@@ -73,7 +73,42 @@ impl HandshakeConfig {
     pub fn setup_latency(&self, rtt: Duration) -> Duration {
         rtt.times(self.setup_rtts() as u64)
     }
+
+    /// Approximate octets a *new* connection spends on the wire before the
+    /// first HTTP request: transport handshake segments plus the TLS flights.
+    ///
+    /// Session resumption's byte discount is the dominant one: a resumed
+    /// handshake authenticates via ticket/PSK and never retransmits the
+    /// certificate chain — by far the heaviest flight. TLS 1.2 pays an extra
+    /// legacy key-exchange flight over 1.3; QUIC folds the transport
+    /// handshake into the crypto flights, so it skips the TCP segments.
+    pub fn handshake_octets(&self) -> u64 {
+        let transport = if self.quic { 0 } else { TCP_HANDSHAKE_OCTETS };
+        let mut tls = CLIENT_HELLO_OCTETS + SERVER_PARAMS_OCTETS + FINISHED_OCTETS;
+        if !self.session_resumption {
+            tls += CERTIFICATE_CHAIN_OCTETS;
+            if self.version == TlsVersion::Tls12 {
+                tls += TLS12_KEY_EXCHANGE_OCTETS;
+            }
+        }
+        transport + tls
+    }
 }
+
+/// TCP SYN, SYN-ACK and ACK segments (40 octets of headers each).
+pub const TCP_HANDSHAKE_OCTETS: u64 = 120;
+/// ClientHello with a contemporary extension block.
+const CLIENT_HELLO_OCTETS: u64 = 512;
+/// ServerHello plus encrypted extensions / session parameters.
+const SERVER_PARAMS_OCTETS: u64 = 256;
+/// A typical leaf + intermediate certificate chain — the flight that session
+/// resumption elides.
+const CERTIFICATE_CHAIN_OCTETS: u64 = 4_096;
+/// Finished / ticket flights in both directions.
+const FINISHED_OCTETS: u64 = 256;
+/// The separate ServerKeyExchange/ClientKeyExchange flights of a full
+/// TLS 1.2 handshake.
+const TLS12_KEY_EXCHANGE_OCTETS: u64 = 256;
 
 #[cfg(test)]
 mod tests {
@@ -98,6 +133,25 @@ mod tests {
         assert_eq!(cfg.setup_rtts(), 1);
         let cfg12 = HandshakeConfig { version: TlsVersion::Tls12, session_resumption: true, quic: false };
         assert_eq!(cfg12.setup_rtts(), 2);
+    }
+
+    #[test]
+    fn resumption_discount_skips_the_certificate_chain() {
+        let full = HandshakeConfig::default();
+        let resumed = HandshakeConfig { session_resumption: true, ..Default::default() };
+        // The byte discount is exactly the certificate-chain flight.
+        assert_eq!(full.handshake_octets() - resumed.handshake_octets(), 4_096);
+        assert!(resumed.handshake_octets() > TCP_HANDSHAKE_OCTETS);
+    }
+
+    #[test]
+    fn handshake_octets_order_tls12_over_tls13_over_quic() {
+        let tls13 = HandshakeConfig::default();
+        let tls12 = HandshakeConfig { version: TlsVersion::Tls12, ..Default::default() };
+        let quic = HandshakeConfig { quic: true, ..Default::default() };
+        assert!(tls12.handshake_octets() > tls13.handshake_octets());
+        // QUIC skips the TCP segments but still ships the TLS flights.
+        assert_eq!(tls13.handshake_octets() - quic.handshake_octets(), TCP_HANDSHAKE_OCTETS);
     }
 
     #[test]

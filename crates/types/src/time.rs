@@ -67,6 +67,13 @@ impl Duration {
     pub const fn times(self, factor: u64) -> Duration {
         Duration { millis: self.millis * factor }
     }
+
+    /// Multiply by an integer factor, saturating at the representable
+    /// maximum (aggregate cost accounting multiplies RTTs by campaign-wide
+    /// round-trip counts, which must not wrap).
+    pub const fn saturating_mul(self, factor: u64) -> Duration {
+        Duration { millis: self.millis.saturating_mul(factor) }
+    }
 }
 
 impl fmt::Display for Duration {
@@ -205,6 +212,8 @@ mod tests {
         assert_eq!(Duration::from_days(2), Duration::from_hours(48));
         assert_eq!(Duration::from_secs(1) + Duration::from_millis(500), Duration::from_millis(1500));
         assert_eq!(Duration::from_secs(5).times(3), Duration::from_secs(15));
+        assert_eq!(Duration::from_secs(5).saturating_mul(3), Duration::from_secs(15));
+        assert_eq!(Duration::from_millis(u64::MAX / 2).saturating_mul(4), Duration::from_millis(u64::MAX));
     }
 
     #[test]

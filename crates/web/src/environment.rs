@@ -56,4 +56,10 @@ impl WebEnvironment {
     pub fn total_planned_requests(&self) -> usize {
         self.sites.iter().map(|s| s.plan.len()).sum()
     }
+
+    /// Total planned response-body octets across all sites (the population's
+    /// page weight, reported by the cost experiment).
+    pub fn total_planned_octets(&self) -> u64 {
+        self.sites.iter().map(Website::planned_octets).sum()
+    }
 }

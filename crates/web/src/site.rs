@@ -65,6 +65,12 @@ impl Website {
         self.plan.len()
     }
 
+    /// Total response-body octets the plan will transfer (the page weight
+    /// the cost model prices transfers against).
+    pub fn planned_octets(&self) -> u64 {
+        self.plan.iter().map(|r| r.body_size).sum()
+    }
+
     /// `true` if the site embeds the named service.
     pub fn embeds(&self, service: &str) -> bool {
         self.embedded_services.iter().any(|s| s == service)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Bench-regression guard: compare a fresh `connreuse-atlas --bench-json`
+# record against the committed baseline and fail on a large throughput
+# regression.
+#
+#   scripts/bench_guard.sh [BASELINE_JSON] [FRESH_JSON]
+#
+# Defaults: BENCH_atlas.json (the committed full-run baseline) vs
+# ci-artifacts/BENCH_atlas.json (what the CI atlas smoke step just wrote).
+# The guard compares the `sites_per_second` field and fails when the fresh
+# run falls below BENCH_GUARD_MIN_RATIO (default 0.75, i.e. a >25 %
+# regression) of the baseline. Quick runs crawl a small population with the
+# same per-site pipeline, so their throughput is comparable to — usually
+# above — the committed full-run figure; a drop past the floor means the
+# per-visit hot path got materially slower.
+#
+# Override the floor for noisy environments:
+#   BENCH_GUARD_MIN_RATIO=0.5 scripts/bench_guard.sh
+set -euo pipefail
+
+baseline="${1:-BENCH_atlas.json}"
+fresh="${2:-ci-artifacts/BENCH_atlas.json}"
+min_ratio="${BENCH_GUARD_MIN_RATIO:-0.75}"
+
+extract_sites_per_second() {
+    # Pull the numeric value of "sites_per_second" out of a (possibly
+    # pretty-printed) JSON record without requiring jq.
+    sed -n 's/.*"sites_per_second"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+for file in "$baseline" "$fresh"; do
+    if [ ! -f "$file" ]; then
+        echo "bench guard: missing $file" >&2
+        exit 1
+    fi
+done
+
+base_value=$(extract_sites_per_second "$baseline")
+fresh_value=$(extract_sites_per_second "$fresh")
+if [ -z "$base_value" ] || [ -z "$fresh_value" ]; then
+    echo "bench guard: could not extract sites_per_second from $baseline / $fresh" >&2
+    exit 1
+fi
+
+awk -v base="$base_value" -v fresh="$fresh_value" -v min="$min_ratio" 'BEGIN {
+    if (base <= 0) {
+        printf "bench guard: baseline sites_per_second is %s — nothing to compare\n", base
+        exit 1
+    }
+    ratio = fresh / base
+    printf "bench guard: fresh %.1f sites/s vs baseline %.1f sites/s (ratio %.2f, floor %.2f)\n",
+        fresh, base, ratio, min
+    if (ratio < min) {
+        printf "bench guard: throughput regression beyond the %.0f%% floor — investigate before merging\n",
+            (1 - min) * 100
+        exit 1
+    }
+}'

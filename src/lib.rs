@@ -33,6 +33,7 @@ pub use connreuse_experiments as experiments;
 pub use connreuse_probe as probe;
 pub use netsim_asdb as asdb;
 pub use netsim_browser as browser;
+pub use netsim_cost as cost;
 pub use netsim_dns as dns;
 pub use netsim_fetch as fetch;
 pub use netsim_h2 as h2;
@@ -49,10 +50,12 @@ pub mod prelude {
         DatasetSummary, DurationModel, SiteObservation,
     };
     pub use connreuse_experiments::{
-        run_atlas, run_sweep, AtlasConfig, AtlasReport, SweepConfig, SweepReport,
+        run_atlas, run_cost, run_sweep, AtlasConfig, AtlasReport, CostConfig, CostReport, SweepConfig,
+        SweepReport,
     };
     pub use connreuse_probe::{default_pairs, DomainPair, ProbeConfig, ProbeExperiment};
-    pub use netsim_browser::{Browser, BrowserConfig, Crawler, PageVisit};
+    pub use netsim_browser::{Browser, BrowserConfig, Crawler, PageVisit, VisitScratch};
+    pub use netsim_cost::{CostTotals, LinkProfile, VisitTimeline};
     pub use netsim_har::{ArchivePipeline, InconsistencyConfig};
     pub use netsim_types::{DomainName, Duration, Instant, Mitigation, MitigationSet, SimClock, SimRng};
     pub use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};

@@ -4,7 +4,7 @@
 //! subsystem starts consuming ambient entropy (hash-map iteration order,
 //! wall-clock time, thread interleavings), this test catches it.
 
-use connreuse::experiments::{run_atlas, AtlasConfig, Scenario, ScenarioConfig};
+use connreuse::experiments::{run_atlas, run_cost, AtlasConfig, CostConfig, Scenario, ScenarioConfig};
 use connreuse::prelude::*;
 use connreuse::quick_analysis;
 
@@ -66,6 +66,7 @@ fn atlas_reports_are_thread_count_invariant() {
     assert_eq!(sequential.summary, parallel.summary);
     assert_eq!(sequential.requests, parallel.requests);
     assert_eq!(sequential.planned_requests, parallel.planned_requests);
+    assert_eq!(sequential.cost, parallel.cost, "cost totals must be thread-count invariant");
     assert_eq!(
         sequential.render(),
         parallel.render(),
@@ -74,6 +75,26 @@ fn atlas_reports_are_thread_count_invariant() {
     // And the atlas is seed-sensitive like every other pipeline.
     let other_seed = run_atlas(&AtlasConfig { seed: 12, threads: 8, ..config });
     assert_ne!(sequential.summary, other_seed.summary);
+}
+
+/// The cost sweep shards its 16 mitigation cells (each crawled under three
+/// link profiles) across worker threads; the per-visit timelines are folded
+/// into per-cell totals and merged, so the aggregated cells *and* the
+/// rendered report must be byte-identical for `threads = 1` and
+/// `threads = 8`.
+#[test]
+fn cost_reports_are_thread_count_invariant() {
+    let sequential = run_cost(&CostConfig { sites: 30, seed: 11, threads: 1 });
+    let parallel = run_cost(&CostConfig { sites: 30, seed: 11, threads: 8 });
+    assert_eq!(sequential.cells, parallel.cells);
+    assert_eq!(
+        sequential.render(),
+        parallel.render(),
+        "rendered cost reports must be byte-identical across thread counts"
+    );
+    // And the cost pipeline is seed-sensitive like every other one.
+    let other_seed = run_cost(&CostConfig { sites: 30, seed: 12, threads: 8 });
+    assert_ne!(sequential.cells, other_seed.cells);
 }
 
 /// The mitigation sweep shards its 16 cells across worker threads; the

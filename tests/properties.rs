@@ -4,7 +4,9 @@
 use connreuse::core::{
     classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation,
 };
+use connreuse::cost::{CostTotals, LinkProfile, VisitTimeline};
 use connreuse::dns::{LoadBalancePolicy, QueryContext, ResolverId, Vantage};
+use connreuse::experiments::{run_cost, CostConfig, CostReport};
 use connreuse::h2::hpack::HpackContext;
 use connreuse::h2::reuse::{evaluate, ReusePolicy};
 use connreuse::h2::{Connection, Settings};
@@ -124,7 +126,79 @@ fn reuse_connection(
     connection
 }
 
+/// The shared cost-sweep report the cost-monotonicity property samples from
+/// (built once; the property then probes random grid edges).
+fn cost_report() -> &'static CostReport {
+    use std::sync::OnceLock;
+    static REPORT: OnceLock<CostReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_cost(&CostConfig { sites: 40, seed: 20_210_420, threads: 8 }))
+}
+
 proptest! {
+    /// For every mitigation set, total simulated setup cost is monotonically
+    /// non-increasing as mitigations are added — the cost mirror of the
+    /// reuse-monotonicity property below. Sampled over every edge of the
+    /// 2^4 grid under every link profile: adding mitigation `m` to
+    /// combination `S ∌ m` never increases handshake round trips, handshake
+    /// octets, charged handshake latency, cold-window rounds or the priced
+    /// setup time.
+    #[test]
+    fn simulated_cost_is_monotone_under_mitigation(
+        combo_bits in 0usize..16,
+        mitigation_index in 0usize..4,
+        profile_index in 0usize..3,
+    ) {
+        let report = cost_report();
+        let combo = MitigationSet::all_combinations()[combo_bits];
+        let mitigation = Mitigation::ALL[mitigation_index];
+        if !combo.contains(mitigation) {
+            let profile = &report.profiles[profile_index];
+            let without = &report.cell(profile_index, combo).totals;
+            let with = &report.cell(profile_index, combo.with(mitigation)).totals;
+            prop_assert!(
+                with.sums.setup_rtts() <= without.sums.setup_rtts(),
+                "adding {mitigation} to {combo} raised setup RTTs on {}",
+                profile.name
+            );
+            prop_assert!(with.sums.handshake_octets <= without.sums.handshake_octets);
+            prop_assert!(with.sums.handshake_millis <= without.sums.handshake_millis);
+            prop_assert!(with.sums.cold_cwnd_rtts <= without.sums.cold_cwnd_rtts);
+            prop_assert!(with.setup_time(profile) <= without.setup_time(profile));
+        }
+    }
+
+    /// Pricing is monotone in the counters: growing any cost counter never
+    /// makes the derived setup time cheaper, on any link profile.
+    #[test]
+    fn cost_pricing_is_monotone_in_the_counters(
+        rtts in 0u64..100_000,
+        octets in 0u64..1_000_000_000,
+        queries in 0u64..100_000,
+        cwnd in 0u64..100_000,
+        extra in 1u64..50_000,
+        profile_index in 0usize..3,
+    ) {
+        let profile = &LinkProfile::presets()[profile_index];
+        let base_timeline = VisitTimeline {
+            handshake_rtts: rtts,
+            handshake_octets: octets,
+            dns_authority_queries: queries,
+            cold_cwnd_rtts: cwnd,
+            ..VisitTimeline::default()
+        };
+        let mut base = CostTotals::new();
+        base.absorb_visit(&base_timeline);
+        for grown_timeline in [
+            VisitTimeline { handshake_rtts: rtts + extra, ..base_timeline },
+            VisitTimeline { dns_authority_queries: queries + extra, ..base_timeline },
+            VisitTimeline { cold_cwnd_rtts: cwnd + extra, ..base_timeline },
+        ] {
+            let mut grown = CostTotals::new();
+            grown.absorb_visit(&grown_timeline);
+            prop_assert!(grown.setup_time(profile) > base.setup_time(profile));
+        }
+    }
+
     /// Relaxing a [`ReusePolicy`] by enabling any mitigation never
     /// introduces a *new* [`connreuse::h2::ReuseRefusal`] for any
     /// connection/request pair: for every mitigation set `S` and mitigation
