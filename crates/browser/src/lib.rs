@@ -34,6 +34,7 @@ pub mod config;
 pub mod crawler;
 pub mod loader;
 pub mod netlog;
+pub mod pool;
 pub mod scratch;
 pub mod visit;
 
@@ -41,5 +42,6 @@ pub use config::{BrowserConfig, ConnectionDurationModel};
 pub use crawler::{CrawlReport, Crawler};
 pub use loader::Browser;
 pub use netlog::{NetLog, NetLogEvent, NetLogEventKind};
+pub use pool::{PooledScratch, ScratchPool};
 pub use scratch::{ScratchRequest, VisitScratch, VisitTimes};
 pub use visit::{PageVisit, RequestLogEntry};

@@ -1,0 +1,164 @@
+//! A shared pool of [`VisitScratch`] arenas for parallel crawl executors.
+//!
+//! One [`VisitScratch`] amortises a visit's buffers across a *worker's*
+//! lifetime; the pool amortises them across *runs*. A parallel executor
+//! checks one arena out per worker, crawls its chunks, and the arena — with
+//! every buffer grown to the hot set's high-water mark — returns to the pool
+//! when the worker finishes. The next run (another thread count, another
+//! population prefix, a repeated determinism check) starts warm instead of
+//! re-growing connection shells, resolver cache lines and request logs from
+//! empty.
+//!
+//! Checkout order is irrelevant to results: an arena carries no visit state
+//! between checkouts that the loader does not reset, so which worker draws
+//! which arena can never change a report (the atlas thread-invariance tests
+//! cover this end to end).
+
+use crate::scratch::VisitScratch;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A thread-safe pool of recycled [`VisitScratch`] arenas.
+///
+/// All arenas in one pool share a configuration (NetLog recording, cost
+/// accounting), fixed at pool construction — a checked-out arena is always
+/// ready to use as-is.
+#[derive(Debug)]
+pub struct ScratchPool {
+    idle: Mutex<Vec<VisitScratch>>,
+    netlog_enabled: bool,
+    cost_enabled: bool,
+}
+
+impl ScratchPool {
+    /// A pool of measurement-compatible arenas ([`VisitScratch::new`]:
+    /// NetLog recording on, cost accounting on).
+    pub fn new() -> Self {
+        ScratchPool { idle: Mutex::new(Vec::new()), netlog_enabled: true, cost_enabled: true }
+    }
+
+    /// A pool of streaming-path arenas ([`VisitScratch::without_netlog`]) —
+    /// what chunked crawl executors want.
+    pub fn without_netlog() -> Self {
+        ScratchPool { netlog_enabled: false, ..ScratchPool::new() }
+    }
+
+    /// Enable or disable cost accounting for every arena this pool hands out
+    /// (on by default).
+    pub fn with_cost_accounting(mut self, enabled: bool) -> Self {
+        self.cost_enabled = enabled;
+        self
+    }
+
+    /// Check an arena out: recycle an idle one, or build a fresh one if the
+    /// pool has run dry. The arena returns to the pool when the guard drops.
+    pub fn checkout(&self) -> PooledScratch<'_> {
+        let recycled = self.idle.lock().expect("scratch pool poisoned").pop();
+        let scratch = recycled.unwrap_or_else(|| {
+            let base = if self.netlog_enabled { VisitScratch::new() } else { VisitScratch::without_netlog() };
+            base.with_cost_accounting(self.cost_enabled)
+        });
+        PooledScratch { pool: self, scratch: Some(scratch) }
+    }
+
+    /// Number of idle arenas currently waiting in the pool.
+    pub fn idle_arenas(&self) -> usize {
+        self.idle.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+impl Default for ScratchPool {
+    /// Same as [`ScratchPool::new`].
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+/// RAII guard over a checked-out [`VisitScratch`]; dereferences to the arena
+/// and returns it to its pool on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'pool> {
+    pool: &'pool ScratchPool,
+    scratch: Option<VisitScratch>,
+}
+
+impl Deref for PooledScratch<'_> {
+    type Target = VisitScratch;
+
+    fn deref(&self) -> &VisitScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut VisitScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.idle.lock().expect("scratch pool poisoned").push(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_builds_fresh_arenas_and_drop_returns_them() {
+        let pool = ScratchPool::without_netlog();
+        assert_eq!(pool.idle_arenas(), 0);
+        {
+            let first = pool.checkout();
+            let second = pool.checkout();
+            assert_eq!(pool.idle_arenas(), 0);
+            assert!(!first.netlog_enabled());
+            assert!(second.cost_enabled());
+        }
+        assert_eq!(pool.idle_arenas(), 2);
+    }
+
+    #[test]
+    fn recycled_arenas_are_reused_not_regrown() {
+        let pool = ScratchPool::new();
+        drop(pool.checkout());
+        assert_eq!(pool.idle_arenas(), 1);
+        // The second checkout drains the idle arena instead of building a
+        // new one.
+        let guard = pool.checkout();
+        assert_eq!(pool.idle_arenas(), 0);
+        assert!(guard.netlog_enabled());
+        drop(guard);
+        assert_eq!(pool.idle_arenas(), 1);
+    }
+
+    #[test]
+    fn pool_configuration_reaches_every_arena() {
+        let pool = ScratchPool::without_netlog().with_cost_accounting(false);
+        let arena = pool.checkout();
+        assert!(!arena.netlog_enabled());
+        assert!(!arena.cost_enabled());
+    }
+
+    #[test]
+    fn arenas_can_be_checked_out_from_worker_threads() {
+        let pool = ScratchPool::without_netlog();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let arena = pool.checkout();
+                    assert!(!arena.netlog_enabled());
+                });
+            }
+        });
+        // Each worker returned its arena; how many distinct arenas were built
+        // depends on how the threads interleaved (full overlap builds three,
+        // sequential execution recycles one).
+        let idle = pool.idle_arenas();
+        assert!((1..=3).contains(&idle), "expected 1..=3 idle arenas, found {idle}");
+    }
+}

@@ -135,7 +135,36 @@ impl Accumulator {
 
     /// Merge another shard's counts into this accumulator. Associative and
     /// order-insensitive: any merge tree over per-shard accumulators equals
-    /// the batch pass over all classifications.
+    /// the batch pass over all classifications. This is the contract the
+    /// atlas's parallel executor relies on — workers fold disjoint chunks
+    /// in whatever order the steal schedule produces, and the chunk-ordered
+    /// merge afterwards is byte-identical to the sequential fold.
+    ///
+    /// ```
+    /// use connreuse_core::{Accumulator, SiteCounts};
+    ///
+    /// // Two shards observing disjoint sites...
+    /// let mut left = Accumulator::new();
+    /// left.observe_counts(&SiteCounts {
+    ///     total_connections: 3,
+    ///     redundant_connections: 1,
+    ///     cause_connections: [1, 0, 0],
+    /// });
+    /// let mut right = Accumulator::new();
+    /// right.observe_counts(&SiteCounts {
+    ///     total_connections: 2,
+    ///     redundant_connections: 0,
+    ///     cause_connections: [0, 0, 0],
+    /// });
+    ///
+    /// // ...merge to the same totals in either order.
+    /// let mut forward = left.clone();
+    /// forward.merge(&right);
+    /// let mut backward = right.clone();
+    /// backward.merge(&left);
+    /// assert_eq!(forward, backward);
+    /// assert_eq!(forward.observed_sites(), 2);
+    /// ```
     pub fn merge(&mut self, other: &Accumulator) {
         for (entry, theirs) in self.causes.iter_mut().zip(other.causes) {
             entry.absorb(theirs);

@@ -30,6 +30,15 @@
 //! re-priced under any [`LinkProfile`] after the fact; the milliseconds the
 //! loader actually charged are recorded alongside for exactness.
 //!
+//! ## Merging across shards
+//!
+//! [`CostTotals::merge`] is associative and order-insensitive, mirroring
+//! `connreuse_core::Accumulator::merge`. That pair of merge laws is the
+//! whole determinism contract of the parallel atlas: the work-stealing
+//! executor can hand chunks to workers in any order, and the chunk-ordered
+//! merge afterwards still reproduces the sequential fold byte for byte
+//! (property-tested in `crates/experiments/tests/partition_equivalence.rs`).
+//!
 //! [`VisitScratch`]: ../netsim_browser/struct.VisitScratch.html
 
 pub mod link;

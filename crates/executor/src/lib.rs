@@ -1,0 +1,259 @@
+//! # connreuse-executor
+//!
+//! A **work-stealing chunk executor** with deterministic, index-addressed
+//! results — the scheduling layer under the atlas scale scenario (and any
+//! other embarrassingly-parallel, chunk-shaped workload in the workspace).
+//!
+//! ## Why work stealing
+//!
+//! The atlas population is processed in fixed-size chunks whose cost is
+//! *skewed*: Zipf-mixed head chunks plan several times the requests of deep
+//! tail chunks. A static contiguous split (what the pipeline used before this
+//! crate existed) finishes when its **slowest** worker does, leaving the other
+//! cores idle for the tail of the run. Here every worker owns a deque of task
+//! indices; it pops work from the *front* of its own deque and, when that runs
+//! dry, **steals from the back** of a sibling's — so the expensive head chunks
+//! naturally spread over all workers and the run finishes when the *total*
+//! work does.
+//!
+//! ## Determinism contract
+//!
+//! Scheduling decides only *who* runs a task and *when* — never what the task
+//! computes or where its result lands:
+//!
+//! * tasks are identified by their index `0..tasks`, and `results[i]` is
+//!   always the value task `i` returned, regardless of which worker ran it or
+//!   in what order;
+//! * the executor itself introduces no randomness: initial deques are
+//!   contiguous index blocks, steal victims are scanned in a fixed rotation;
+//! * per-worker state (`init`) lets callers keep scratch arenas and memo
+//!   tables thread-local without any locking in the task body.
+//!
+//! A caller whose task function is a pure function of the task index therefore
+//! gets **byte-identical output at any thread count** — the property the
+//! atlas report's thread-invariance tests pin end to end.
+//!
+//! ```
+//! use connreuse_executor::run_indexed;
+//!
+//! // Square 100 numbers on 4 workers, each with a (here trivial) worker
+//! // state. Results come back in task order, not completion order.
+//! let outcome = run_indexed(4, 100, |_worker| (), |(), task| task * task);
+//! assert_eq!(outcome.results[7], 49);
+//! assert_eq!(outcome.stats.executed.iter().sum::<usize>(), 100);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Scheduling telemetry of one [`run_indexed`] call.
+///
+/// The stats describe the *schedule*, which is timing-dependent — two runs of
+/// the same workload may distribute tasks differently. Callers must keep them
+/// out of any deterministic report (the atlas carries them in its
+/// wall-clock-only metrics block, next to throughput and peak RSS).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the run actually used (after clamping to the task
+    /// count; a `threads <= 1` run reports a single worker).
+    pub workers: usize,
+    /// Tasks each worker executed, indexed by worker; sums to the task count.
+    pub executed: Vec<usize>,
+    /// Tasks that ran on a worker other than the one whose deque initially
+    /// held them. 0 on a perfectly balanced run; grows with cost skew.
+    pub steals: u64,
+}
+
+/// Results and scheduling stats of one [`run_indexed`] call.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<R> {
+    /// `results[i]` is what the task function returned for task `i` —
+    /// independent of worker count and steal schedule.
+    pub results: Vec<R>,
+    /// How the run was scheduled (timing-dependent; see [`PoolStats`]).
+    pub stats: PoolStats,
+}
+
+/// Run `tasks` task indices across `threads` workers with work stealing.
+///
+/// `init(worker_index)` builds each worker's private state once (scratch
+/// arenas, classifiers, caches); `run(&mut state, task_index)` executes one
+/// task and its return value is stored at `results[task_index]`.
+///
+/// `threads` is clamped to `1..=tasks`; with one worker (or one task) the
+/// executor degenerates to a plain sequential loop with no locking at all.
+/// Panics in `init` or `run` propagate to the caller once all workers have
+/// stopped (the underlying scoped threads re-raise on join).
+pub fn run_indexed<S, R, I, F>(threads: usize, tasks: usize, init: I, run: F) -> RunOutcome<R>
+where
+    S: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = threads.clamp(1, tasks.max(1));
+    if workers <= 1 {
+        let mut state = init(0);
+        let results = (0..tasks).map(|task| run(&mut state, task)).collect();
+        return RunOutcome { results, stats: PoolStats { workers: 1, executed: vec![tasks], steals: 0 } };
+    }
+
+    // Initial distribution: contiguous blocks, so a steal-free run matches
+    // the cache-friendly static split and task 0 starts on worker 0.
+    let block = tasks.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|worker| {
+            let start = worker * block;
+            let end = tasks.min(start + block);
+            Mutex::new((start..end.max(start)).collect())
+        })
+        .collect();
+
+    // Result slots are index-addressed; each slot is written exactly once, by
+    // whichever worker ran the task.
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::new();
+    slots.resize_with(tasks, || Mutex::new(None));
+    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let executed = &executed;
+            let steals = &steals;
+            let init = &init;
+            let run = &run;
+            scope.spawn(move || {
+                let mut state = init(worker);
+                loop {
+                    // Own deque first (front: the contiguous-block order),
+                    // then scan siblings in a fixed rotation and steal from
+                    // the back (the far end of *their* block).
+                    let mut task = deques[worker].lock().expect("executor deque poisoned").pop_front();
+                    if task.is_none() {
+                        for offset in 1..workers {
+                            let victim = (worker + offset) % workers;
+                            let stolen = deques[victim].lock().expect("executor deque poisoned").pop_back();
+                            if stolen.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                task = stolen;
+                                break;
+                            }
+                        }
+                    }
+                    // No task anywhere: all remaining tasks are in flight on
+                    // other workers (nothing enqueues after start), so this
+                    // worker is done.
+                    let Some(task) = task else { break };
+                    let result = run(&mut state, task);
+                    *slots[task].lock().expect("executor slot poisoned") = Some(result);
+                    executed[worker].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("executor slot poisoned").expect("every task ran"))
+        .collect();
+    RunOutcome {
+        results,
+        stats: PoolStats {
+            workers,
+            executed: executed.iter().map(|count| count.load(Ordering::Relaxed) as usize).collect(),
+            steals: steals.load(Ordering::Relaxed),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_task_order_at_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let outcome = run_indexed(threads, 37, |_| (), |(), task| task * 3);
+            assert_eq!(outcome.results, (0..37).map(|task| task * 3).collect::<Vec<_>>());
+            assert_eq!(outcome.stats.executed.iter().sum::<usize>(), 37);
+            assert_eq!(outcome.stats.workers, threads.clamp(1, 37));
+        }
+    }
+
+    #[test]
+    fn zero_tasks_complete_immediately() {
+        let outcome = run_indexed(8, 0, |_| (), |(), task| task);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.workers, 1);
+        assert_eq!(outcome.stats.steals, 0);
+    }
+
+    #[test]
+    fn workers_clamp_to_the_task_count() {
+        let outcome = run_indexed(16, 3, |_| (), |(), task| task);
+        assert_eq!(outcome.stats.workers, 3);
+        assert_eq!(outcome.results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_worker_needs_no_threads_and_sees_every_task() {
+        let outcome = run_indexed(1, 10, |worker| worker, |state, task| (*state, task));
+        assert_eq!(outcome.results, (0..10).map(|task| (0, task)).collect::<Vec<_>>());
+        assert_eq!(outcome.stats.executed, vec![10]);
+        assert_eq!(outcome.stats.steals, 0);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_and_reused() {
+        // Count init calls; every task records which worker ran it via the
+        // state handed to `run`.
+        let inits = AtomicUsize::new(0);
+        let outcome = run_indexed(
+            4,
+            64,
+            |worker| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                worker
+            },
+            |worker, task| (*worker, task),
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+        for (task, (worker, echoed)) in outcome.results.iter().enumerate() {
+            assert!(*worker < 4);
+            assert_eq!(*echoed, task);
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_are_stolen_from_the_slow_worker() {
+        // Worker 0's initial block starts with one long task; the others'
+        // blocks are all trivial. While worker 0 sleeps, its siblings drain
+        // their own deques and then steal the rest of worker 0's block.
+        let outcome = run_indexed(
+            4,
+            64,
+            |_| (),
+            |(), task| {
+                if task == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                }
+                task
+            },
+        );
+        assert_eq!(outcome.results, (0..64).collect::<Vec<_>>());
+        assert!(outcome.stats.steals > 0, "expected steals from the sleeping worker's deque");
+        // The sleeping worker cannot have run its whole 16-task block.
+        assert!(outcome.stats.executed[0] < 16, "worker 0 executed {}", outcome.stats.executed[0]);
+    }
+
+    #[test]
+    fn stats_report_the_schedule_not_the_results() {
+        let outcome = run_indexed(3, 30, |_| (), |(), task| task);
+        assert_eq!(outcome.stats.executed.len(), 3);
+        assert_eq!(outcome.stats.executed.iter().sum::<usize>(), 30);
+    }
+}

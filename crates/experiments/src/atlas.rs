@@ -18,12 +18,19 @@
 //! * **Streaming classification** — every visit is converted, classified and
 //!   folded into a per-chunk [`connreuse_core::Accumulator`] immediately,
 //!   then dropped. Nothing proportional to the population survives a chunk.
-//! * **Shard merging** — chunks are distributed over worker threads; the
-//!   per-chunk accumulators are merged *in chunk order* afterwards.
+//! * **Work-stealing execution** — chunks are scheduled over worker threads
+//!   by [`connreuse_executor::run_indexed`]: each worker owns a deque of
+//!   chunk indices and steals from a sibling's when its own runs dry, so the
+//!   expensive Zipf-head chunks spread over all cores instead of pinning one.
+//!   Each worker draws a pooled [`netsim_browser::ScratchPool`] arena and a
+//!   streaming classifier once, and reuses them for every chunk it runs.
+//! * **Deterministic chunk-ordered merge** — the per-chunk accumulators are
+//!   index-addressed by the executor and merged *in chunk order* afterwards.
 //!   `Accumulator::merge` is associative and order-insensitive, and every
 //!   stochastic choice flows from RNG streams forked off the root seed by
 //!   global site index — so `threads = 1` and `threads = 8` produce
-//!   byte-identical reports (asserted in `tests/determinism.rs`).
+//!   byte-identical reports (asserted in `tests/determinism.rs`), at 100 k
+//!   and at the million-site scale alike.
 //! * **Interned domains** — the per-request hot path copies 24-byte
 //!   [`netsim_types::DomainName`] handles instead of cloning strings; the
 //!   intern table holds each distinct domain once for the whole run.
@@ -48,7 +55,8 @@ use crate::scenario::{ScenarioConfig, ALEXA_CRAWL_SEED_OFFSET, ALEXA_POPULATION_
 use connreuse_core::{
     classify_site, site_from_visit, Accumulator, Cause, DatasetSummary, DurationModel, FastVisitClassifier,
 };
-use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
+use connreuse_executor::run_indexed;
+use netsim_browser::{BrowserConfig, Crawler, PooledScratch, ScratchPool, VisitScratch};
 use netsim_cost::{CostTotals, LinkProfile};
 use netsim_types::{interned_domain_count, interned_domain_octets, MitigationSet};
 use netsim_web::{DeploymentCache, PopulationBuilder, PopulationProfile};
@@ -95,6 +103,23 @@ impl AtlasConfig {
     /// run.
     pub fn quick() -> Self {
         AtlasConfig { sites: 400, chunk_sites: 80, ..AtlasConfig::default() }
+    }
+
+    /// The million-site run: ten times the paper's own crawl, reaching
+    /// toward the HTTP-Archive population. Chunks stay at 2 000 sites, so
+    /// memory stays bounded exactly like the 100 k run — only the number of
+    /// chunks grows.
+    pub fn million() -> Self {
+        AtlasConfig { sites: 1_000_000, chunk_sites: 2_000, ..AtlasConfig::default() }
+    }
+
+    /// A prefix of the million-site run: the same seed, chunk size and Zipf
+    /// mix, truncated to the first `sites` sites. Because chunk layout and
+    /// per-site RNG streams depend only on the global site index, a prefix
+    /// run reproduces the million run's first chunks byte-for-byte — the
+    /// determinism tests use this to pin the 1 M configuration at CI size.
+    pub fn million_prefix(sites: usize) -> Self {
+        AtlasConfig { sites: sites.min(1_000_000), ..AtlasConfig::million() }
     }
 
     /// The atlas sized to match a scenario: same root seed and thread
@@ -154,16 +179,25 @@ pub struct AtlasMetrics {
     /// Total octets those interned strings occupy (the bounded "leak" the
     /// intern table trades for copyable handles).
     pub interned_octets: usize,
+    /// Worker threads the executor actually used (the configured count
+    /// clamped to the chunk count).
+    pub scheduler_workers: usize,
+    /// Chunks that ran on a worker other than the one whose deque initially
+    /// held them — the work-stealing balance transfer. Timing-dependent,
+    /// like every other field here.
+    pub scheduler_steals: u64,
 }
 
 impl AtlasMetrics {
     /// Human-readable metrics block (printed by the `connreuse-atlas` bin).
     pub fn render(&self) -> String {
         format!(
-            "throughput: {:.1} sites/s ({:.2} s wall) | peak RSS: {:.1} MiB | interned domains: {} \
-             ({:.1} MiB)\n",
+            "throughput: {:.1} sites/s ({:.2} s wall) | workers: {} ({} chunks stolen) | peak RSS: \
+             {:.1} MiB | interned domains: {} ({:.1} MiB)\n",
             self.sites_per_second,
             self.elapsed_secs,
+            self.scheduler_workers,
+            self.scheduler_steals,
             self.peak_rss_bytes as f64 / (1024.0 * 1024.0),
             format_count(self.interned_domains),
             self.interned_octets as f64 / (1024.0 * 1024.0),
@@ -213,46 +247,49 @@ impl PartialEq for AtlasReport {
 /// Run the atlas scenario: generate, crawl and classify `config.sites` sites
 /// in chunks, streaming everything into shard-merged accumulators.
 pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
+    run_atlas_partitioned(config, &config.chunks())
+}
+
+/// Run the atlas over an **explicit chunk partition** of `[0, config.sites)`.
+///
+/// [`run_atlas`] calls this with the uniform layout from the config; the
+/// partition proptests call it with arbitrary contiguous partitions to pin
+/// the determinism contract: because every site's RNG streams fork off its
+/// *global* index and the chunk-ordered merge is associative, **any**
+/// partition of the population produces the identical report.
+///
+/// The chunks must be contiguous, in ascending order, and cover
+/// `[0, config.sites)` exactly — the uniform layout trivially satisfies
+/// this, and the proptest generator is built to.
+pub fn run_atlas_partitioned(config: &AtlasConfig, chunks: &[(usize, usize)]) -> AtlasReport {
     let started = std::time::Instant::now();
-    let chunks = config.chunks();
-    let mut results: Vec<Option<(Accumulator, AtlasTallies, CostTotals)>> = Vec::new();
-    results.resize_with(chunks.len(), || None);
 
     // One memoized service deployment for the whole run: the catalog's
-    // zones/certs/prefixes are issued once and shared by every chunk.
+    // zones/certs/prefixes are issued once and shared by every chunk. One
+    // scratch pool: each executor worker checks an arena out once and keeps
+    // it for every chunk it runs (stolen or not).
     let deployments = DeploymentCache::standard();
+    let scratch_pool = ScratchPool::without_netlog();
 
-    let threads = config.threads.clamp(1, chunks.len().max(1));
-    if threads <= 1 {
-        let mut worker = ChunkWorker::new();
-        for (slot, chunk) in results.iter_mut().zip(&chunks) {
-            *slot = Some(worker.run_chunk(config, *chunk, &deployments));
-        }
-    } else {
-        let per_worker = chunks.len().div_ceil(threads);
-        let deployments = &deployments;
-        std::thread::scope(|scope| {
-            for (slots, shard) in results.chunks_mut(per_worker).zip(chunks.chunks(per_worker)) {
-                scope.spawn(move || {
-                    let mut worker = ChunkWorker::new();
-                    for (slot, chunk) in slots.iter_mut().zip(shard) {
-                        *slot = Some(worker.run_chunk(config, *chunk, deployments));
-                    }
-                });
-            }
-        });
-    }
+    // Work-stealing execution with index-addressed results: scheduling moves
+    // *chunks between workers*, never sites between chunks, so the merge
+    // below sees exactly the same per-chunk values at any thread count.
+    let outcome = run_indexed(
+        config.threads,
+        chunks.len(),
+        |_worker| ChunkWorker::from_pool(&scratch_pool),
+        |worker, index| worker.run_chunk(config, chunks[index], &deployments),
+    );
 
     // Deterministic merge in chunk order (any order would do — merge is
     // order-insensitive — but fixed order keeps the intent obvious).
     let mut accumulator = Accumulator::new();
     let mut tallies = AtlasTallies::default();
     let mut cost = CostTotals::new();
-    for result in results {
-        let (chunk_accumulator, chunk_tallies, chunk_cost) = result.expect("every chunk ran");
-        accumulator.merge(&chunk_accumulator);
-        tallies.merge(&chunk_tallies);
-        cost.merge(&chunk_cost);
+    for (chunk_accumulator, chunk_tallies, chunk_cost) in &outcome.results {
+        accumulator.merge(chunk_accumulator);
+        tallies.merge(chunk_tallies);
+        cost.merge(chunk_cost);
     }
 
     let elapsed = started.elapsed().as_secs_f64();
@@ -271,23 +308,26 @@ pub fn run_atlas(config: &AtlasConfig) -> AtlasReport {
             peak_rss_bytes: peak_rss_bytes(),
             interned_domains: interned_domain_count(),
             interned_octets: interned_domain_octets(),
+            scheduler_workers: outcome.stats.workers,
+            scheduler_steals: outcome.stats.steals,
         },
     }
 }
 
-/// A chunk worker's reusable state: the visit scratch arena and the
-/// streaming classifier survive across every chunk the worker processes, so
-/// the steady-state visit loop allocates nothing.
-struct ChunkWorker {
-    scratch: VisitScratch,
+/// A chunk worker's reusable state: the visit scratch arena (checked out of
+/// the run's [`ScratchPool`]) and the streaming classifier survive across
+/// every chunk the worker processes — including chunks it *stole* — so the
+/// steady-state visit loop allocates nothing.
+struct ChunkWorker<'pool> {
+    scratch: PooledScratch<'pool>,
     classifier: FastVisitClassifier,
 }
 
-impl ChunkWorker {
-    fn new() -> Self {
-        // NetLog events would be dropped unread — disable recording so the
-        // visit loop stays allocation-free.
-        ChunkWorker { scratch: VisitScratch::without_netlog(), classifier: FastVisitClassifier::new() }
+impl<'pool> ChunkWorker<'pool> {
+    fn from_pool(pool: &'pool ScratchPool) -> Self {
+        // NetLog events would be dropped unread — the pool hands out
+        // recording-disabled arenas so the visit loop stays allocation-free.
+        ChunkWorker { scratch: pool.checkout(), classifier: FastVisitClassifier::new() }
     }
 
     /// Generate, crawl and classify one chunk `[start, start + len)`.
@@ -393,13 +433,13 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
-/// The machine-readable benchmark record `connreuse-atlas --bench-json`
-/// writes to `BENCH_atlas.json`, giving future PRs a perf trajectory to
-/// compare against. Deterministic configuration fields first, then the
-/// machine-dependent measurements.
+/// One run's machine-readable benchmark record. Deterministic configuration
+/// fields first, then the machine-dependent measurements. Collected into a
+/// [`BenchFile`] by `connreuse-atlas --bench-json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
-    /// Record format version.
+    /// Record format version (2: multi-record files with scheduler fields;
+    /// 1 was the single-record schema).
     pub schema: u32,
     /// Scenario name (always "atlas").
     pub scenario: String,
@@ -407,8 +447,11 @@ pub struct BenchRecord {
     pub sites: usize,
     /// Sites per chunk.
     pub chunk_sites: usize,
-    /// Worker threads.
+    /// Worker threads the run was configured with.
     pub threads: usize,
+    /// CPU cores the machine offered (`available_parallelism`); reads of the
+    /// parallel records are meaningless without it.
+    pub available_cores: usize,
     /// Root seed.
     pub seed: u64,
     /// Zipf head-profile exponent.
@@ -423,17 +466,42 @@ pub struct BenchRecord {
     pub interned_domains: usize,
     /// Octets those interned strings occupy.
     pub interned_octets: usize,
+    /// Chunks the work-stealing executor moved between workers.
+    pub scheduler_steals: u64,
+}
+
+/// The file `connreuse-atlas --bench-json` writes: one record per run the
+/// invocation performed (`--bench-threads 1,8` yields one record per thread
+/// count over the identical population). The committed `BENCH_atlas.json`
+/// is a `BenchFile`; `scripts/bench_guard.sh` pairs its records with a fresh
+/// file's by serial (`threads == 1`) vs parallel (`threads > 1`) role.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// File format version (2; version 1 files held a single bare record).
+    pub schema: u32,
+    /// Scenario name (always "atlas").
+    pub scenario: String,
+    /// One record per run, in execution order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchFile {
+    /// Wrap per-run records into the versioned file format.
+    pub fn new(records: Vec<BenchRecord>) -> Self {
+        BenchFile { schema: 2, scenario: "atlas".to_string(), records }
+    }
 }
 
 impl AtlasReport {
     /// The benchmark record for this run.
     pub fn bench_record(&self) -> BenchRecord {
         BenchRecord {
-            schema: 1,
+            schema: 2,
             scenario: "atlas".to_string(),
             sites: self.config.sites,
             chunk_sites: self.config.chunk_sites,
             threads: self.config.threads,
+            available_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             seed: self.config.seed,
             zipf_exponent: self.config.zipf_exponent,
             elapsed_secs: self.metrics.elapsed_secs,
@@ -441,6 +509,7 @@ impl AtlasReport {
             peak_rss_bytes: self.metrics.peak_rss_bytes,
             interned_domains: self.metrics.interned_domains,
             interned_octets: self.metrics.interned_octets,
+            scheduler_steals: self.metrics.scheduler_steals,
         }
     }
 
@@ -593,6 +662,47 @@ mod tests {
         assert_eq!(monolithic.requests, chunked.requests);
         assert_eq!(monolithic.planned_requests, chunked.planned_requests);
         assert_eq!(monolithic.cost, chunked.cost, "cost totals must be chunk-layout invariant");
+    }
+
+    #[test]
+    fn arbitrary_contiguous_partitions_reproduce_the_uniform_report() {
+        let config = tiny();
+        let uniform = run_atlas(&config);
+        // A deliberately lopsided partition of the same 60 sites.
+        let lopsided = run_atlas_partitioned(&config, &[(0, 1), (1, 29), (30, 25), (55, 5)]);
+        assert_eq!(uniform, lopsided);
+        assert_eq!(uniform.requests, lopsided.requests);
+        assert_eq!(uniform.cost, lopsided.cost);
+    }
+
+    #[test]
+    fn million_prefix_shares_the_million_layout() {
+        let million = AtlasConfig::million();
+        let prefix = AtlasConfig::million_prefix(4_000);
+        assert_eq!(prefix.chunk_sites, million.chunk_sites);
+        assert_eq!(prefix.seed, million.seed);
+        assert_eq!(prefix.zipf_exponent, million.zipf_exponent);
+        assert_eq!(prefix.sites, 4_000);
+        // The prefix layout is literally the first chunks of the million
+        // layout.
+        assert_eq!(prefix.chunks(), million.chunks()[..prefix.chunks().len()].to_vec());
+        // And the prefix clamp cannot exceed the full run.
+        assert_eq!(AtlasConfig::million_prefix(2_000_000).sites, 1_000_000);
+    }
+
+    #[test]
+    fn bench_records_carry_the_scheduler_and_machine_fields() {
+        let report = run_atlas(&tiny());
+        let record = report.bench_record();
+        assert_eq!(record.schema, 2);
+        assert_eq!(record.threads, 2);
+        assert!(record.available_cores >= 1);
+        let file = BenchFile::new(vec![record.clone(), record]);
+        assert_eq!(file.schema, 2);
+        assert_eq!(file.records.len(), 2);
+        let json = serde_json::to_string_pretty(&file).expect("bench file serialises");
+        assert!(json.contains("\"records\""));
+        assert!(json.contains("\"available_cores\""));
     }
 
     #[test]

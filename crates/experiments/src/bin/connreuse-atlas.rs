@@ -1,14 +1,23 @@
-//! `connreuse-atlas` — run the 100 k-site atlas scale scenario and print the
-//! redundancy report plus throughput/peak-RSS metrics.
+//! `connreuse-atlas` — run the atlas scale scenario (100 k sites by default,
+//! 1 M with `--million`) and print the redundancy report plus
+//! throughput/peak-RSS metrics.
 //!
 //! ```text
 //! cargo run -p connreuse-experiments --bin connreuse-atlas --release
 //! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- --quick
+//! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- --million --threads 8
 //! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- \
 //!     --sites 100000 --chunk 1000 --threads 8 --out results/atlas.txt
+//! cargo run -p connreuse-experiments --bin connreuse-atlas --release -- \
+//!     --million --bench-threads 1,8 --bench-json
 //! ```
+//!
+//! `--bench-threads` runs the identical population once per thread count,
+//! **asserts the rendered reports are byte-identical** (the executor's
+//! determinism contract), and emits one record per run into the
+//! `--bench-json` file — the scaling-curve workflow PERF.md describes.
 
-use connreuse_experiments::atlas::{run_atlas, AtlasConfig};
+use connreuse_experiments::atlas::{run_atlas, AtlasConfig, AtlasReport, BenchFile};
 use std::path::PathBuf;
 
 /// Default file the `--bench-json` flag writes the machine-readable record
@@ -21,6 +30,7 @@ struct CliOptions {
     config: AtlasConfig,
     out: Option<PathBuf>,
     bench_json: Option<PathBuf>,
+    bench_threads: Option<Vec<usize>>,
     help: bool,
 }
 
@@ -28,6 +38,7 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut config = AtlasConfig::full();
     let mut out = None;
     let mut bench_json = None;
+    let mut bench_threads = None;
     let mut quick = false;
     let mut help = false;
     let mut args = std::env::args().skip(1).peekable();
@@ -43,6 +54,21 @@ fn parse_args() -> Result<CliOptions, String> {
                 let sizes = AtlasConfig::quick();
                 config.sites = sizes.sites;
                 config.chunk_sites = sizes.chunk_sites;
+            }
+            "--million" => {
+                let sizes = AtlasConfig::million();
+                config.sites = sizes.sites;
+                config.chunk_sites = sizes.chunk_sites;
+            }
+            "--bench-threads" => {
+                let value = args.next().ok_or("--bench-threads requires a comma-separated list")?;
+                let counts: Result<Vec<usize>, _> =
+                    value.split(',').map(|item| item.trim().parse::<usize>()).collect();
+                let counts = counts.map_err(|_| format!("invalid value for --bench-threads: {value}"))?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err(format!("--bench-threads needs positive thread counts, got {value}"));
+                }
+                bench_threads = Some(counts);
             }
             "--out" => {
                 let value = args.next().ok_or("--out requires a file path")?;
@@ -67,7 +93,7 @@ fn parse_args() -> Result<CliOptions, String> {
              full-run baseline); pass an explicit file, e.g. --bench-json quick-bench.json"
         ));
     }
-    Ok(CliOptions { config, out, bench_json, help })
+    Ok(CliOptions { config, out, bench_json, bench_threads, help })
 }
 
 /// `true` if `path` denotes the committed baseline file in the current
@@ -106,9 +132,12 @@ fn print_usage() {
     println!("  --sites N    population size (default 100000, the paper's own crawl)");
     println!("  --chunk N    sites per generation/crawl chunk (default 1000; bounds memory)");
     println!("  --seed N     root seed (default 20210420)");
-    println!("  --threads N  worker threads the chunks shard across");
+    println!("  --threads N  worker threads the work-stealing executor uses");
     println!("  --zipf X     Zipf exponent of the head/tail profile mix (default 0.35)");
     println!("  --quick      use the small test-sized population (400 sites)");
+    println!("  --million    use the million-site population (1000000 sites, 2000-site chunks)");
+    println!("  --bench-threads L  run once per thread count in the comma list (e.g. 1,2,8),");
+    println!("               assert the reports are byte-identical, and record each run");
     println!("  --out FILE   also write the report to FILE");
     println!("  --bench-json [FILE]  write machine-readable run metrics (default {BENCH_JSON_PATH};");
     println!("               the committed copy is the full-run baseline — quick runs should");
@@ -129,21 +158,41 @@ fn main() {
         return;
     }
 
-    eprintln!(
-        "atlas: sites={} chunk={} seed={} threads={} zipf={}",
-        options.config.sites,
-        options.config.chunk_sites,
-        options.config.seed,
-        options.config.threads,
-        options.config.zipf_exponent
-    );
-    let report = run_atlas(&options.config);
+    let thread_counts = options.bench_threads.clone().unwrap_or_else(|| vec![options.config.threads]);
+    let mut records = Vec::new();
+    let mut first: Option<AtlasReport> = None;
+    for &threads in &thread_counts {
+        let config = AtlasConfig { threads, ..options.config };
+        eprintln!(
+            "atlas: sites={} chunk={} seed={} threads={} zipf={}",
+            config.sites, config.chunk_sites, config.seed, config.threads, config.zipf_exponent
+        );
+        let report = run_atlas(&config);
+        // Metrics go to stderr so `--out` files and piped stdout stay
+        // deterministic for a given config.
+        eprintln!("{}", report.metrics.render());
+        records.push(report.bench_record());
+        match &first {
+            None => first = Some(report),
+            Some(reference) => {
+                // The executor's determinism contract, checked on the real
+                // workload: any thread count, the identical report.
+                if reference.render() != report.render() {
+                    eprintln!(
+                        "error: report at threads={} diverges from threads={} — the run is not \
+                         thread-count deterministic",
+                        threads, thread_counts[0]
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("report at threads={} is byte-identical to threads={}", threads, thread_counts[0]);
+            }
+        }
+    }
+    let report = first.expect("at least one run");
 
     let text = report.render();
     println!("{text}");
-    // Metrics go to stderr so `--out` files and piped stdout stay
-    // deterministic for a given config.
-    eprintln!("{}", report.metrics.render());
     if let Some(path) = &options.out {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             if let Err(error) = std::fs::create_dir_all(parent) {
@@ -157,11 +206,11 @@ fn main() {
         }
     }
     if let Some(path) = &options.bench_json {
-        let record = report.bench_record();
-        let json = match serde_json::to_string_pretty(&record) {
+        let file = BenchFile::new(records);
+        let json = match serde_json::to_string_pretty(&file) {
             Ok(json) => json,
             Err(error) => {
-                eprintln!("error: cannot serialise bench record: {error}");
+                eprintln!("error: cannot serialise bench records: {error}");
                 std::process::exit(1);
             }
         };
@@ -175,6 +224,6 @@ fn main() {
             eprintln!("error: cannot write {}: {error}", path.display());
             std::process::exit(1);
         }
-        eprintln!("bench record written to {}", path.display());
+        eprintln!("bench records written to {}", path.display());
     }
 }

@@ -12,9 +12,9 @@
 //! [`CostTotals`] per cell:
 //!
 //! * **handshake RTTs / octets** — TCP + TLS flights of every opened
-//!   connection ([`netsim_tls::HandshakeConfig`]), resumption-aware,
+//!   connection (`netsim_tls::HandshakeConfig`), resumption-aware,
 //! * **cold-cwnd RTTs** — slow-start rounds the opened connections paid for
-//!   their bytes ([`netsim_h2::cwnd`]),
+//!   their bytes (`netsim_h2::cwnd`),
 //! * **DNS walks** — recursive resolutions and their authority queries
 //!   (cache hits are free),
 //! * **page-load time** — the simulated visit duration under the profile's

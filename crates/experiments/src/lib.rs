@@ -24,15 +24,26 @@
 //! | `filters`  | the §4.3 HAR filter statistics |
 //! | `sweep`    | the 2^4 mitigation what-if matrix (§7 directions) |
 //! | `cost`     | the mitigation matrix priced in RTTs/bytes/PLT under three link profiles |
-//! | `atlas`    | the paper-scale population scenario (100 k sites, streaming aggregation) |
+//! | `atlas`    | the paper-scale population scenario (100 k–1 M sites, work-stealing execution, streaming aggregation) |
+//!
+//! The [`atlas`] module is the scale engine: it fans fixed site chunks over
+//! the work-stealing executor (`connreuse_executor`), one pooled
+//! [`VisitScratch`] arena per worker, and merges per-chunk
+//! `Accumulator`/`CostTotals` shards in chunk order — so the rendered
+//! report is byte-identical at any `--threads` value (see
+//! `ARCHITECTURE.md` for the determinism contract).
 //!
 //! Run everything with `cargo run -p connreuse-experiments --bin repro --release -- all`,
 //! just the mitigation matrix with
 //! `cargo run -p connreuse-experiments --bin connreuse-sweep --release`, its
 //! cost pricing with
-//! `cargo run -p connreuse-experiments --bin connreuse-cost --release`, or the
+//! `cargo run -p connreuse-experiments --bin connreuse-cost --release`, the
 //! full-scale atlas with
-//! `cargo run -p connreuse-experiments --bin connreuse-atlas --release`.
+//! `cargo run -p connreuse-experiments --bin connreuse-atlas --release`, or
+//! the million-site scenario with a thread sweep via
+//! `cargo run -p connreuse-experiments --bin connreuse-atlas --release -- --million --bench-threads 1,2,4,8`.
+//!
+//! [`VisitScratch`]: ../netsim_browser/struct.VisitScratch.html
 
 pub mod atlas;
 pub mod cost;
@@ -42,7 +53,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
-pub use atlas::{run_atlas, AtlasConfig, AtlasMetrics, AtlasReport};
+pub use atlas::{run_atlas, run_atlas_partitioned, AtlasConfig, AtlasMetrics, AtlasReport, BenchFile};
 pub use cost::{run_cost, CostCell, CostConfig, CostReport};
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};

@@ -1,32 +1,44 @@
 #!/usr/bin/env bash
 # Bench-regression guard: compare a fresh `connreuse-atlas --bench-json`
-# record against the committed baseline and fail on a large throughput
-# regression.
+# file against the committed baseline and fail on a large throughput
+# regression or a broken parallel executor.
 #
 #   scripts/bench_guard.sh [BASELINE_JSON] [FRESH_JSON]
 #
-# Defaults: BENCH_atlas.json (the committed full-run baseline) vs
+# Defaults: BENCH_atlas.json (the committed baseline) vs
 # ci-artifacts/BENCH_atlas.json (what the CI atlas smoke step just wrote).
-# The guard compares the `sites_per_second` field and fails when the fresh
-# run falls below BENCH_GUARD_MIN_RATIO (default 0.75, i.e. a >25 %
-# regression) of the baseline. Quick runs crawl a small population with the
-# same per-site pipeline, so their throughput is comparable to — usually
-# above — the committed full-run figure; a drop past the floor means the
-# per-visit hot path got materially slower.
+# Both files are schema-2 `BenchFile`s holding one record per run; legacy
+# schema-1 single-record files parse the same way. Records are paired by
+# *role*, not by exact thread count (CI runners and the baseline machine
+# rarely agree on core counts):
 #
-# Override the floor for noisy environments:
-#   BENCH_GUARD_MIN_RATIO=0.5 scripts/bench_guard.sh
+#   serial   — the first record with threads == 1
+#   parallel — the record with the highest threads > 1 (if any)
+#
+# Three checks:
+#
+#   1. Serial throughput: fresh serial sites/s must stay above
+#      BENCH_GUARD_MIN_RATIO (default 0.75, i.e. a >25 % regression fails)
+#      of the baseline serial figure. Quick runs crawl a small population
+#      with the same per-site pipeline, so their throughput is comparable
+#      to — usually above — the committed full-run figure.
+#   2. The baseline must carry a parallel record at all: the committed
+#      multi-thread data point is part of the perf contract.
+#   3. Parallel speedup: if the fresh file has a parallel record, its
+#      sites/s divided by the fresh serial sites/s must reach
+#      BENCH_GUARD_MIN_SPEEDUP. The default floor adapts to the machine the
+#      fresh run used (its `available_cores` field): >= 2 cores demand a
+#      real speedup (1.15); a single core only guards against pathological
+#      scheduler overhead (0.5).
+#
+# Override the floors for noisy environments:
+#   BENCH_GUARD_MIN_RATIO=0.5 BENCH_GUARD_MIN_SPEEDUP=1.0 scripts/bench_guard.sh
 set -euo pipefail
 
 baseline="${1:-BENCH_atlas.json}"
 fresh="${2:-ci-artifacts/BENCH_atlas.json}"
 min_ratio="${BENCH_GUARD_MIN_RATIO:-0.75}"
-
-extract_sites_per_second() {
-    # Pull the numeric value of "sites_per_second" out of a (possibly
-    # pretty-printed) JSON record without requiring jq.
-    sed -n 's/.*"sites_per_second"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
-}
+min_speedup="${BENCH_GUARD_MIN_SPEEDUP:-}"
 
 for file in "$baseline" "$fresh"; do
     if [ ! -f "$file" ]; then
@@ -35,24 +47,96 @@ for file in "$baseline" "$fresh"; do
     fi
 done
 
-base_value=$(extract_sites_per_second "$baseline")
-fresh_value=$(extract_sites_per_second "$fresh")
-if [ -z "$base_value" ] || [ -z "$fresh_value" ]; then
-    echo "bench guard: could not extract sites_per_second from $baseline / $fresh" >&2
+# Emit one line per record: "<threads> <available_cores> <sites_per_second>".
+# Field order inside a record is fixed by the serializer (threads and
+# available_cores precede sites_per_second); available_cores defaults to 0
+# for legacy records that lack it.
+extract_records() {
+    sed -e 's/,/\n/g' -e 's/[{}]/\n/g' "$1" | awk '
+        /"threads"[[:space:]]*:/ { value = $0; gsub(/[^0-9]/, "", value); threads = value }
+        /"available_cores"[[:space:]]*:/ { value = $0; gsub(/[^0-9]/, "", value); cores = value }
+        /"sites_per_second"[[:space:]]*:/ {
+            value = $0
+            sub(/.*"sites_per_second"[[:space:]]*:[[:space:]]*/, "", value)
+            gsub(/[^0-9.eE+-]/, "", value)
+            print threads, (cores == "" ? 0 : cores), value
+            cores = ""
+        }'
+}
+
+# Print the sites/s of one role from a record list: role "serial" = first
+# threads==1 record, role "parallel" = highest-thread-count record with
+# threads > 1. Prints nothing when the role is absent.
+pick_role() {
+    local records="$1" role="$2"
+    echo "$records" | awk -v role="$role" '
+        role == "serial" && $1 == 1 && !found { print $3; found = 1 }
+        role == "parallel" && $1 > 1 && $1 > best { best = $1; line = $3 }
+        END { if (role == "parallel" && best > 0) print line }'
+}
+
+base_records=$(extract_records "$baseline")
+fresh_records=$(extract_records "$fresh")
+
+base_serial=$(pick_role "$base_records" serial)
+base_parallel=$(pick_role "$base_records" parallel)
+fresh_serial=$(pick_role "$fresh_records" serial)
+fresh_parallel=$(pick_role "$fresh_records" parallel)
+fresh_cores=$(echo "$fresh_records" | awk 'NR == 1 { print $2 }')
+
+if [ -z "$base_serial" ] || [ -z "$fresh_serial" ]; then
+    echo "bench guard: could not extract a serial (threads=1) record from $baseline / $fresh" >&2
     exit 1
 fi
 
-awk -v base="$base_value" -v fresh="$fresh_value" -v min="$min_ratio" 'BEGIN {
+# Check 2: the committed baseline carries the multi-thread record.
+if [ -z "$base_parallel" ]; then
+    echo "bench guard: $baseline has no parallel (threads>1) record — the committed baseline" >&2
+    echo "bench guard: must include the multi-thread data point (run --bench-threads 1,8)" >&2
+    exit 1
+fi
+
+# Check 1: serial throughput ratio.
+awk -v base="$base_serial" -v fresh="$fresh_serial" -v min="$min_ratio" 'BEGIN {
     if (base <= 0) {
-        printf "bench guard: baseline sites_per_second is %s — nothing to compare\n", base
+        printf "bench guard: baseline serial sites_per_second is %s — nothing to compare\n", base
         exit 1
     }
     ratio = fresh / base
-    printf "bench guard: fresh %.1f sites/s vs baseline %.1f sites/s (ratio %.2f, floor %.2f)\n",
+    printf "bench guard: serial fresh %.1f sites/s vs baseline %.1f sites/s (ratio %.2f, floor %.2f)\n",
         fresh, base, ratio, min
     if (ratio < min) {
-        printf "bench guard: throughput regression beyond the %.0f%% floor — investigate before merging\n",
+        printf "bench guard: serial throughput regression beyond the %.0f%% floor — investigate before merging\n",
             (1 - min) * 100
+        exit 1
+    }
+}'
+
+# Check 3: parallel speedup of the fresh run (skipped when the fresh file
+# was not produced with --bench-threads).
+if [ -z "$fresh_parallel" ]; then
+    echo "bench guard: fresh file has no parallel record — speedup check skipped"
+    exit 0
+fi
+if [ -z "$min_speedup" ]; then
+    if [ "${fresh_cores:-0}" -ge 2 ]; then
+        min_speedup=1.15
+    else
+        min_speedup=0.5
+    fi
+fi
+awk -v serial="$fresh_serial" -v parallel="$fresh_parallel" -v min="$min_speedup" \
+    -v cores="${fresh_cores:-0}" 'BEGIN {
+    if (serial <= 0) {
+        printf "bench guard: fresh serial sites_per_second is %s — nothing to compare\n", serial
+        exit 1
+    }
+    speedup = parallel / serial
+    printf "bench guard: parallel speedup %.2fx over serial on %d core(s) (floor %.2f)\n",
+        speedup, cores, min
+    if (speedup < min) {
+        printf "bench guard: parallel executor below the %.2fx speedup floor — investigate before merging\n",
+            min
         exit 1
     }
 }'

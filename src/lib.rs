@@ -29,6 +29,7 @@
 //! ```
 
 pub use connreuse_core as core;
+pub use connreuse_executor as executor;
 pub use connreuse_experiments as experiments;
 pub use connreuse_probe as probe;
 pub use netsim_asdb as asdb;
