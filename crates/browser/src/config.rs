@@ -147,6 +147,27 @@ impl BrowserConfig {
         }
     }
 
+    /// Check the configuration for values that are always a
+    /// misconfiguration, independent of scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_ms` is zero. The transfer-time model
+    /// divides by it; clamping the divisor at the point of use (as the
+    /// loader once did) silently turned a typo into a semantically different
+    /// simulation. [`crate::Browser::new`] and
+    /// [`crate::Browser::with_id_base`] call this, so an unusable
+    /// configuration fails loudly before any visit runs —
+    /// [`netsim_cost::LinkProfile::new`] enforces the same invariant on the
+    /// profile side.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.bandwidth_bytes_per_ms > 0,
+            "BrowserConfig.bandwidth_bytes_per_ms is zero; the transfer-time model divides by it — \
+             configure a positive bandwidth"
+        );
+    }
+
     /// Run this configuration over the given network path: RTT, bandwidth
     /// and loss come from the [`LinkProfile`]; every policy knob is left
     /// untouched. One profile knob turns any scenario into a family of
@@ -206,6 +227,13 @@ mod tests {
         assert_eq!(cfg.page_timeout, Duration::from_secs(300));
         assert_eq!(cfg.loss_ppm, 0, "the measurement setup models a loss-free path");
         assert!(matches!(cfg.duration_model, ConnectionDurationModel::IdleTimeouts { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth_bytes_per_ms is zero")]
+    fn zero_bandwidth_is_rejected() {
+        let config = BrowserConfig { bandwidth_bytes_per_ms: 0, ..BrowserConfig::default() };
+        config.assert_valid();
     }
 
     #[test]

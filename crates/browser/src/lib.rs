@@ -31,17 +31,21 @@
 #![deny(clippy::clone_on_copy)]
 
 pub mod config;
+pub mod connpool;
 pub mod crawler;
 pub mod loader;
 pub mod netlog;
 pub mod pool;
 pub mod scratch;
+pub mod session;
 pub mod visit;
 
 pub use config::{BrowserConfig, ConnectionDurationModel};
+pub use connpool::{ConnectionPool, PoolConfig, PoolLifecycleStats};
 pub use crawler::{CrawlReport, Crawler};
 pub use loader::Browser;
 pub use netlog::{NetLog, NetLogEvent, NetLogEventKind};
 pub use pool::{PooledScratch, ScratchPool};
 pub use scratch::{ScratchRequest, VisitScratch, VisitTimes};
+pub use session::{ResumptionCache, UserSession};
 pub use visit::{PageVisit, RequestLogEntry};

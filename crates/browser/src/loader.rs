@@ -3,6 +3,7 @@
 use crate::config::{BrowserConfig, ConnectionDurationModel};
 use crate::netlog::NetLogEventKind;
 use crate::scratch::{ScratchRequest, VisitScratch, VisitTimes};
+use crate::session::{ResumptionCache, UserSession};
 use crate::visit::PageVisit;
 use netsim_cost::loss_retransmit_extra;
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
@@ -25,13 +26,25 @@ pub struct Browser {
 
 impl Browser {
     /// A browser with id allocators starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unusable (zero bandwidth) — see
+    /// [`BrowserConfig::assert_valid`].
     pub fn new(config: BrowserConfig) -> Self {
+        config.assert_valid();
         Browser { config, connection_ids: IdAllocator::new(), request_ids: IdAllocator::new() }
     }
 
     /// A browser whose connection/request ids start at `id_base` (used by the
     /// crawler to keep ids globally unique across parallel visits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unusable (zero bandwidth) — see
+    /// [`BrowserConfig::assert_valid`].
     pub fn with_id_base(config: BrowserConfig, id_base: u64) -> Self {
+        config.assert_valid();
         Browser {
             config,
             connection_ids: IdAllocator::starting_at(id_base),
@@ -80,7 +93,6 @@ impl Browser {
         rng: &mut SimRng,
     ) -> VisitTimes {
         let started_at = clock.now();
-        let deadline = started_at + self.config.page_timeout;
         // Caches are reset between visits (only in-visit DNS reuse happens);
         // the scratch flushes rather than drops the resolver.
         scratch.begin_visit(self.config.resolver, self.config.vantage);
@@ -88,25 +100,7 @@ impl Browser {
             scratch.netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
         }
 
-        let document_origin = Origin::https(site.domain);
-        let rtt = Duration::from_millis(self.config.base_rtt_ms);
-        let mut finished_at = started_at;
-
-        for (plan_index, planned) in site.plan.iter().enumerate() {
-            if clock.now() > deadline {
-                break;
-            }
-            let outcome = self.fetch_one(scratch, env, &document_origin, planned, plan_index, clock, rtt);
-            if let Some(entry) = outcome {
-                finished_at =
-                    finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
-                if scratch.cost_enabled() {
-                    scratch.timeline.requests += 1;
-                    scratch.timeline.body_octets += entry.body_size;
-                }
-                scratch.requests.push(entry);
-            }
-        }
+        let finished_at = self.walk_plan(scratch, env, site, clock, started_at, None);
 
         // Assign connection end times according to the duration model.
         if let ConnectionDurationModel::IdleTimeouts { close_probability, median_lifetime_secs } =
@@ -131,6 +125,113 @@ impl Browser {
             }
         }
 
+        self.finish_page(scratch, started_at, finished_at, 0)
+    }
+
+    /// Load one page of a *multi-page user session*. Differs from the
+    /// single-visit entry point ([`Browser::load_page_into`]) in what stays
+    /// warm between calls:
+    ///
+    /// * the session's [`crate::ConnectionPool`] lends its surviving
+    ///   connections to the page up front and absorbs the page's live set
+    ///   afterwards (idle-timeout / server-lifetime closes happen at the
+    ///   lend, LRU cap eviction at the absorb — the single-visit post-hoc
+    ///   duration-model pass does not run, the pool owns lifetimes),
+    /// * handshakes against origins the session already visited run at the
+    ///   TLS-resumption tariff, and every handshake mints a ticket,
+    /// * the DNS cache persists across pages (flushed only on the session's
+    ///   first page; TTL-expired lines are swept at each page boundary),
+    /// * the cold-cwnd penalty is charged only to connections *opened by
+    ///   this page* — a pooled connection's window is already grown.
+    ///
+    /// Pool lifecycle events are accounted in the session's
+    /// [`crate::PoolLifecycleStats`], not the NetLog (the fleet experiment
+    /// runs without a NetLog).
+    pub fn load_session_page_into(
+        &mut self,
+        scratch: &mut VisitScratch,
+        session: &mut UserSession,
+        env: &WebEnvironment,
+        site: &Website,
+        clock: &mut SimClock,
+        rng: &mut SimRng,
+    ) -> VisitTimes {
+        let started_at = clock.now();
+        let first_page = session.pages_loaded() == 0;
+        scratch.begin_session_page(self.config.resolver, self.config.vantage, first_page, started_at);
+        if scratch.netlog_enabled() {
+            scratch.netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
+        }
+
+        let warm = {
+            let (connections, shells) = scratch.connections_and_shells_mut();
+            session.pool_mut().lend(started_at, connections, shells);
+            connections.len()
+        };
+
+        let finished_at = self.walk_plan(scratch, env, site, clock, started_at, Some(session.tickets_mut()));
+        let times = self.finish_page(scratch, started_at, finished_at, warm);
+
+        let (connections, shells) = scratch.connections_and_shells_mut();
+        session.pool_mut().absorb(clock.now(), connections, shells, rng, &self.config.duration_model);
+        session.note_page_loaded();
+        times
+    }
+
+    /// Walk the site's plan, fetching every planned request until the page
+    /// timeout. Returns when the last response will have finished
+    /// transferring.
+    fn walk_plan(
+        &mut self,
+        scratch: &mut VisitScratch,
+        env: &WebEnvironment,
+        site: &Website,
+        clock: &mut SimClock,
+        started_at: Instant,
+        mut tickets: Option<&mut ResumptionCache>,
+    ) -> Instant {
+        let deadline = started_at + self.config.page_timeout;
+        let document_origin = Origin::https(site.domain);
+        let rtt = Duration::from_millis(self.config.base_rtt_ms);
+        let mut finished_at = started_at;
+        for (plan_index, planned) in site.plan.iter().enumerate() {
+            if clock.now() > deadline {
+                break;
+            }
+            let outcome = self.fetch_one(
+                scratch,
+                env,
+                &document_origin,
+                planned,
+                plan_index,
+                clock,
+                rtt,
+                tickets.as_deref_mut(),
+            );
+            if let Some(entry) = outcome {
+                finished_at =
+                    finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
+                if scratch.cost_enabled() {
+                    scratch.timeline.requests += 1;
+                    scratch.timeline.body_octets += entry.body_size;
+                }
+                scratch.requests.push(entry);
+            }
+        }
+        finished_at
+    }
+
+    /// Record the end-of-page NetLog event and fold the page-level costs.
+    /// `first_new` is the index of the first connection this page opened
+    /// itself — connections before it were lent warm by a session pool and
+    /// already paid their slow-start.
+    fn finish_page(
+        &mut self,
+        scratch: &mut VisitScratch,
+        started_at: Instant,
+        finished_at: Instant,
+        first_new: usize,
+    ) -> VisitTimes {
         if scratch.netlog_enabled() {
             scratch
                 .netlog
@@ -141,7 +242,7 @@ impl Browser {
             // slow-start rounds its delivered bytes needed (a reused
             // connection would have carried them on an already-grown
             // window).
-            for connection in &scratch.connections {
+            for connection in &scratch.connections[first_new..] {
                 scratch.timeline.cold_cwnd_rtts += u64::from(connection.cold_cwnd_rtts());
             }
             scratch.timeline.plt_millis = (finished_at - started_at).as_millis();
@@ -150,6 +251,9 @@ impl Browser {
     }
 
     /// Fetch a single planned request, reusing or opening connections.
+    /// `tickets` is the session's TLS ticket cache when the page belongs to a
+    /// multi-page session (`None` reproduces the cold single-visit
+    /// behaviour byte for byte).
     #[allow(clippy::too_many_arguments)]
     fn fetch_one(
         &mut self,
@@ -160,6 +264,7 @@ impl Browser {
         plan_index: usize,
         clock: &mut SimClock,
         rtt: Duration,
+        tickets: Option<&mut ResumptionCache>,
     ) -> Option<ScratchRequest> {
         let target_origin = Origin::https(planned.domain);
         // The session-pool key ("privacy mode"): which partition the request
@@ -286,18 +391,30 @@ impl Browser {
                     env.certificate_arc_for(&planned.domain)
                         .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain)),
                 );
-                let setup_rtts = u64::from(self.config.handshake.setup_rtts());
-                let setup = self.config.handshake.setup_latency(rtt)
+                // A session that already shook hands with this origin holds a
+                // ticket and resumes; without a ticket cache the configured
+                // handshake applies unchanged.
+                let handshake = match &tickets {
+                    Some(tickets) if tickets.has(&target_origin) => self.config.handshake.resumed(),
+                    _ => self.config.handshake,
+                };
+                let setup_rtts = u64::from(handshake.setup_rtts());
+                let setup = handshake.setup_latency(rtt)
                     + loss_retransmit_extra(rtt, setup_rtts, self.config.loss_ppm);
                 clock.advance(setup);
                 if scratch.cost_enabled() {
                     scratch.timeline.connections_opened += 1;
                     scratch.timeline.handshake_rtts += setup_rtts;
-                    scratch.timeline.handshake_octets += self.config.handshake.handshake_octets();
+                    scratch.timeline.handshake_octets += handshake.handshake_octets();
                     scratch.timeline.handshake_millis += setup.as_millis();
-                    if self.config.handshake.session_resumption {
+                    if handshake.session_resumption {
                         scratch.timeline.resumed_handshakes += 1;
                     }
+                }
+                // Every completed handshake (full or resumed) mints a fresh
+                // ticket for the origin.
+                if let Some(tickets) = tickets {
+                    tickets.insert(target_origin);
                 }
                 let id: ConnectionId = self.connection_ids.issue_as();
                 let mut connection = match scratch.take_shell() {
@@ -393,9 +510,15 @@ impl Browser {
     }
 }
 
-/// Crude transfer-time model: body size over configured bandwidth.
+/// Transfer-time model: body size over configured bandwidth, charged in
+/// whole milliseconds rounded *up* — any non-empty body occupies the link for
+/// at least one millisecond of virtual time. (Truncating division would let
+/// every body smaller than the per-millisecond bandwidth — analytics
+/// beacons, favicons — transfer in zero time, deflating page-load times and
+/// the redundancy-tax tables built on them.) Zero bandwidth is rejected at
+/// [`BrowserConfig`] construction, so the division is always well-defined.
 fn transfer_time(body_size: u64, config: &BrowserConfig) -> Duration {
-    Duration::from_millis(body_size / config.bandwidth_bytes_per_ms.max(1))
+    Duration::from_millis(body_size.div_ceil(config.bandwidth_bytes_per_ms))
 }
 
 /// Convenience used by tests and examples: resolve a domain once with a fresh
@@ -621,6 +744,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn transfer_time_rounds_up_to_the_millisecond() {
+        // The free-ride bug: truncating division let every body below the
+        // per-millisecond bandwidth transfer in zero virtual time. Ceiling
+        // division charges a sub-unit body one millisecond and leaves exact
+        // multiples unchanged.
+        let config = BrowserConfig::default();
+        assert_eq!(config.bandwidth_bytes_per_ms, 6_000);
+        assert_eq!(transfer_time(0, &config), Duration::ZERO);
+        assert_eq!(transfer_time(1, &config), Duration::from_millis(1));
+        assert_eq!(transfer_time(5_999, &config), Duration::from_millis(1));
+        assert_eq!(transfer_time(6_000, &config), Duration::from_millis(1));
+        assert_eq!(transfer_time(6_001, &config), Duration::from_millis(2));
+        assert_eq!(transfer_time(12_000, &config), Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth_bytes_per_ms is zero")]
+    fn browser_rejects_zero_bandwidth_at_construction() {
+        let config = BrowserConfig { bandwidth_bytes_per_ms: 0, ..BrowserConfig::default() };
+        let _ = Browser::new(config);
+    }
+
+    #[test]
+    fn session_pages_reuse_pooled_connections_and_resume_handshakes() {
+        use crate::connpool::PoolConfig;
+        use crate::session::UserSession;
+
+        let env = environment(8, 21);
+        let config = BrowserConfig::alexa_measurement();
+        let mut scratch = VisitScratch::without_netlog();
+        // A roomy pool: no capacity eviction, so the only page-2 opens are
+        // replacements for server-churned connections (ticketed origins).
+        let pool = PoolConfig { max_connections: 64, idle_timeout: Duration::from_secs(600) };
+        let mut session = UserSession::new(pool);
+        let mut browser = Browser::new(config);
+        let mut clock = SimClock::new();
+        let mut rng = SimRng::new(99);
+
+        // Page 1: everything is cold — no resumed handshakes, nothing lent.
+        browser.load_session_page_into(&mut scratch, &mut session, &env, &env.sites[0], &mut clock, &mut rng);
+        let cold = *scratch.timeline();
+        assert_eq!(cold.resumed_handshakes, 0);
+        assert!(cold.connections_opened > 0);
+        assert!(session.ticket_count() > 0, "every handshake mints a ticket");
+        assert!(!session.pool().is_empty(), "open connections are pooled at page end");
+
+        // Page 2, same site a few seconds later: pooled connections carry
+        // requests (cross-page reuse) and any connection the page still has
+        // to open against a known origin resumes.
+        clock.advance(Duration::from_secs(5));
+        browser.load_session_page_into(&mut scratch, &mut session, &env, &env.sites[0], &mut clock, &mut rng);
+        let warm = *scratch.timeline();
+        assert!(session.pool().stats().lent > 0, "page 2 must receive warm connections");
+        assert!(
+            warm.connections_opened < cold.connections_opened,
+            "a warm revisit must open fewer connections than the cold visit ({} vs {})",
+            warm.connections_opened,
+            cold.connections_opened
+        );
+        assert_eq!(
+            warm.resumed_handshakes, warm.connections_opened,
+            "every page-2 handshake targets a ticketed origin and resumes"
+        );
+        assert_eq!(session.pages_loaded(), 2);
+
+        // Ending the session recycles the pool into scratch shells.
+        session.end(&mut scratch, clock.now());
+        assert!(session.pool().is_empty());
     }
 
     #[test]

@@ -160,9 +160,60 @@ impl VisitScratch {
         self.resolver.as_mut().expect("resolver just ensured").flush_cache();
     }
 
+    /// Prepare for the next page of a *multi-page session* visit. Unlike
+    /// [`VisitScratch::begin_visit`] (the measurement methodology: caches
+    /// reset between visits) the session keeps its DNS cache warm across
+    /// pages: the resolver is flushed only on the session's first page and
+    /// merely sweeps TTL-expired lines (`expire_stale`) afterwards. Within a
+    /// session the connection list is already empty here (the session's
+    /// [`crate::ConnectionPool`] absorbed it at the previous page's end);
+    /// leftovers from an interleaved legacy visit are recycled into shells
+    /// like [`VisitScratch::begin_visit`] does.
+    pub(crate) fn begin_session_page(
+        &mut self,
+        resolver: ResolverId,
+        vantage: Vantage,
+        first_page: bool,
+        now: Instant,
+    ) {
+        self.shells.append(&mut self.connections);
+        self.requests.clear();
+        self.refusals.clear();
+        self.netlog.clear();
+        self.any_non_ok = false;
+        self.timeline.reset();
+        let rebuild = match &self.resolver {
+            Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
+            None => true,
+        };
+        if rebuild {
+            self.resolver =
+                Some(RecursiveResolver::new(ResolverConfig::new(resolver, vantage, "measurement-resolver")));
+        }
+        let resolver = self.resolver.as_mut().expect("resolver just ensured");
+        if first_page {
+            resolver.flush_cache();
+        } else {
+            resolver.expire_stale(now);
+        }
+    }
+
     /// The reusable resolver (valid after [`VisitScratch::begin_visit`]).
     pub(crate) fn resolver_mut(&mut self) -> &mut RecursiveResolver {
         self.resolver.as_mut().expect("begin_visit initialises the resolver")
+    }
+
+    /// Split borrows of the live-connection list and the shell pool (the
+    /// session's connection pool moves entries between both at page
+    /// boundaries).
+    pub(crate) fn connections_and_shells_mut(&mut self) -> (&mut Vec<Connection>, &mut Vec<Connection>) {
+        (&mut self.connections, &mut self.shells)
+    }
+
+    /// The recycled-shell pool (session teardown drains pooled connections
+    /// into it).
+    pub(crate) fn shells_mut(&mut self) -> &mut Vec<Connection> {
+        &mut self.shells
     }
 
     /// Take a recycled connection shell, if one is available.

@@ -1,0 +1,159 @@
+//! Multi-page user sessions: the warm state carried between navigations.
+//!
+//! A [`UserSession`] owns everything that outlives a single page but dies
+//! with the user: the [`ConnectionPool`] (idle timeouts, LRU cap, server
+//! churn), the TLS session-ticket cache that lets later handshakes against
+//! an already-visited origin resume, and the page counter that tells the
+//! loader whether the session's DNS cache is cold. The per-session DNS cache
+//! itself lives in the [`VisitScratch`]'s resolver — the loader flushes it on
+//! the session's first page and only sweeps expired lines afterwards
+//! ([`netsim_dns::RecursiveResolver::expire_stale`]).
+//!
+//! Everything here is reusable: ending a session recycles the pooled
+//! connections into the scratch's shell pool and retains ticket/entry
+//! capacities, so a worker simulating thousands of sessions back to back
+//! allocates nothing in the steady state.
+//!
+//! [`VisitScratch`]: crate::VisitScratch
+
+use crate::connpool::{ConnectionPool, PoolConfig, PoolLifecycleStats};
+use crate::scratch::VisitScratch;
+use netsim_types::{Instant, Origin};
+
+/// The TLS session tickets a user agent holds, keyed by origin. Linear scan
+/// over a small `Vec` — a session touches tens of origins, and the flat
+/// layout keeps lookups allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct ResumptionCache {
+    origins: Vec<Origin>,
+}
+
+impl ResumptionCache {
+    /// `true` if a ticket for `origin` is held.
+    pub fn has(&self, origin: &Origin) -> bool {
+        self.origins.contains(origin)
+    }
+
+    /// Record a ticket for `origin` (every completed handshake mints one).
+    pub fn insert(&mut self, origin: Origin) {
+        if !self.has(&origin) {
+            self.origins.push(origin);
+        }
+    }
+
+    /// Number of origins with a ticket.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// `true` if no tickets are held.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Forget every ticket (capacity retained).
+    pub fn clear(&mut self) {
+        self.origins.clear();
+    }
+}
+
+/// One user's browsing session: the connection pool, TLS tickets and page
+/// counter carried across the pages of a multi-page visit sequence. Drive it
+/// with [`Browser::load_session_page_into`] and finish with
+/// [`UserSession::end`].
+///
+/// [`Browser::load_session_page_into`]: crate::Browser::load_session_page_into
+#[derive(Clone, Debug)]
+pub struct UserSession {
+    pool: ConnectionPool,
+    tickets: ResumptionCache,
+    pages_loaded: u64,
+}
+
+impl UserSession {
+    /// A fresh session with the given pool policy.
+    pub fn new(pool: PoolConfig) -> Self {
+        UserSession { pool: ConnectionPool::new(pool), tickets: ResumptionCache::default(), pages_loaded: 0 }
+    }
+
+    /// The session's connection pool.
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// The session's connection pool, mutably (the loader lends/absorbs).
+    pub(crate) fn pool_mut(&mut self) -> &mut ConnectionPool {
+        &mut self.pool
+    }
+
+    /// The session's TLS ticket cache, mutably (the loader consults and
+    /// mints tickets per handshake).
+    pub(crate) fn tickets_mut(&mut self) -> &mut ResumptionCache {
+        &mut self.tickets
+    }
+
+    /// Origins this session holds a TLS ticket for.
+    pub fn ticket_count(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Pages loaded so far in this session.
+    pub fn pages_loaded(&self) -> u64 {
+        self.pages_loaded
+    }
+
+    /// Note a completed page load (the loader calls this).
+    pub(crate) fn note_page_loaded(&mut self) {
+        self.pages_loaded += 1;
+    }
+
+    /// End the session at `now`: close every pooled connection
+    /// (`CloseReason::SessionEnd`), recycling it into `scratch`'s shell pool,
+    /// and forget the TLS tickets. The session object is immediately
+    /// reusable for the next simulated user — lifecycle counters keep
+    /// accumulating until [`UserSession::take_stats`].
+    pub fn end(&mut self, scratch: &mut VisitScratch, now: Instant) {
+        self.pool.drain_all(now, scratch.shells_mut());
+        self.tickets.clear();
+        self.pages_loaded = 0;
+    }
+
+    /// Take the pool's accumulated lifecycle counters, resetting them.
+    pub fn take_stats(&mut self) -> PoolLifecycleStats {
+        self.pool.take_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_types::DomainName;
+
+    #[test]
+    fn ticket_cache_deduplicates_origins() {
+        let mut cache = ResumptionCache::default();
+        let origin = Origin::https(DomainName::literal("www.example.com"));
+        assert!(cache.is_empty());
+        assert!(!cache.has(&origin));
+        cache.insert(origin);
+        cache.insert(origin);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.has(&origin));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn ending_a_session_resets_its_warm_state() {
+        let mut session = UserSession::new(PoolConfig::default());
+        session.tickets_mut().insert(Origin::https(DomainName::literal("www.example.com")));
+        session.note_page_loaded();
+        assert_eq!(session.pages_loaded(), 1);
+        assert_eq!(session.ticket_count(), 1);
+        let mut scratch = VisitScratch::without_netlog();
+        session.end(&mut scratch, Instant::from_millis(1_000));
+        assert_eq!(session.pages_loaded(), 0);
+        assert_eq!(session.ticket_count(), 0);
+        assert!(session.pool().is_empty());
+    }
+}

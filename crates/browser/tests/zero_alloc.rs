@@ -16,8 +16,9 @@
 
 #![cfg(not(miri))]
 
-use netsim_browser::{BrowserConfig, Crawler, VisitScratch};
-use netsim_web::{PopulationBuilder, PopulationProfile};
+use netsim_browser::{Browser, BrowserConfig, Crawler, PoolConfig, UserSession, VisitScratch};
+use netsim_types::{Duration, Instant, SimClock, SimRng};
+use netsim_web::{PopulationBuilder, PopulationProfile, WebEnvironment};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -150,6 +151,69 @@ fn cost_accounting_keeps_the_zero_allocation_guarantee() {
     assert!(totals.sums.handshake_rtts >= 2 * totals.sums.connections_opened);
     assert!(totals.sums.dns_recursive_walks > 0);
     assert!(totals.sums.plt_millis > 0);
+}
+
+/// One pass of warm multi-page sessions over the population: six sessions of
+/// four pages each, all driven through the session fast path with the same
+/// reusable [`UserSession`]. Returns the connections opened, so the measured
+/// pass can prove it did real work.
+fn run_warm_sessions(
+    env: &WebEnvironment,
+    config: &BrowserConfig,
+    scratch: &mut VisitScratch,
+    session: &mut UserSession,
+) -> u64 {
+    let mut opens = 0;
+    for s in 0..6u64 {
+        let mut browser = Browser::with_id_base(config.clone(), s * 1_000_000);
+        let mut clock = SimClock::starting_at(Instant::EPOCH + Duration::from_secs(600 * s));
+        let mut rng = SimRng::new(5).fork_indexed("alloc-session", s);
+        for page in 0..4u64 {
+            let site = &env.sites[((s * 4 + page) * 3) as usize % env.sites.len()];
+            browser.load_session_page_into(scratch, session, env, site, &mut clock, &mut rng);
+            opens += scratch.timeline().connections_opened;
+            clock.advance(Duration::from_secs(30));
+        }
+        session.end(scratch, clock.now());
+    }
+    opens
+}
+
+#[test]
+fn warm_session_pages_keep_the_zero_allocation_guarantee() {
+    // The session fast path adds a connection pool, a TLS ticket cache and a
+    // kept-warm DNS cache on top of the per-visit scratch; all of that state
+    // must recycle like the scratch's own buffers. After warm-up, a full
+    // pass of multi-page sessions — pool lends and absorbs, ticket lookups,
+    // TTL sweeps, session teardown included — allocates exactly nothing.
+    let env = PopulationBuilder::new(PopulationProfile::alexa(), 24, 99).build();
+    let config = BrowserConfig::alexa_measurement();
+    let mut scratch = VisitScratch::without_netlog();
+    let mut session = UserSession::new(PoolConfig::default());
+
+    const MAX_WARMUP_PASSES: usize = 8;
+    let mut converged = false;
+    for _ in 0..MAX_WARMUP_PASSES {
+        let allocations = allocations_in(|| {
+            let _ = run_warm_sessions(&env, &config, &mut scratch, &mut session);
+        });
+        if allocations == 0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "session loop still allocating after {MAX_WARMUP_PASSES} full passes");
+
+    let mut opens = 0;
+    let allocations = allocations_in(|| opens = run_warm_sessions(&env, &config, &mut scratch, &mut session));
+    assert!(opens > 0, "the measured pass opened connections");
+    assert_eq!(allocations, 0, "steady-state session pages must not allocate: {allocations} allocations");
+
+    // The zero cannot be explained by the pool having been bypassed: the
+    // accumulated lifecycle counters prove warm lends happened.
+    let stats = session.take_stats();
+    assert!(stats.lent > 0, "warm sessions must lend pooled connections: {stats:?}");
+    assert!(stats.inserted > 0);
 }
 
 #[test]

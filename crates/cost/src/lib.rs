@@ -21,7 +21,10 @@
 //! * [`totals`] — [`CostTotals`]: the streaming, shard-mergeable aggregate of
 //!   visit timelines (mirroring `connreuse_core::Accumulator`), with the
 //!   derived RTT / byte / page-load-time metrics the `cost` experiment and
-//!   the atlas report render.
+//!   the atlas report render,
+//! * [`session`] — [`SessionTotals`]: the cross-page aggregate for the
+//!   `fleet` scenario's multi-page user sessions, counting sessions and
+//!   pages apart so reports can price redundancy per session, not per page.
 //!
 //! The model is *accounting-only*: it observes the simulated visit (which
 //! already advances its own [`netsim_types::SimClock`] past handshakes and
@@ -42,9 +45,11 @@
 //! [`VisitScratch`]: ../netsim_browser/struct.VisitScratch.html
 
 pub mod link;
+pub mod session;
 pub mod timeline;
 pub mod totals;
 
 pub use link::{loss_retransmit_extra, LinkProfile};
+pub use session::SessionTotals;
 pub use timeline::VisitTimeline;
 pub use totals::CostTotals;

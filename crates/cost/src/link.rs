@@ -38,37 +38,40 @@ pub struct LinkProfile {
 }
 
 impl LinkProfile {
+    /// Build a profile, rejecting unusable parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_ms` is zero. A zero-bandwidth link is
+    /// always a misconfiguration — the transfer-time model divides by it —
+    /// and masking it (the model once clamped the divisor to 1 at the point
+    /// of use) silently turned every body into a multi-second transfer.
+    /// Constructing the profile is where the mistake is visible; reject it
+    /// there.
+    pub fn new(name: &str, rtt_ms: u64, bandwidth_bytes_per_ms: u64, loss_ppm: u32) -> Self {
+        assert!(
+            bandwidth_bytes_per_ms > 0,
+            "link profile {name:?} has zero bandwidth; bandwidth_bytes_per_ms must be positive"
+        );
+        LinkProfile { name: name.to_string(), rtt_ms, bandwidth_bytes_per_ms, loss_ppm }
+    }
+
     /// A well-peered datacenter / university vantage: 2 ms, 1 Gbit/s, no
     /// loss.
     pub fn datacenter() -> Self {
-        LinkProfile {
-            name: "datacenter".to_string(),
-            rtt_ms: 2,
-            bandwidth_bytes_per_ms: 125_000,
-            loss_ppm: 0,
-        }
+        LinkProfile::new("datacenter", 2, 125_000, 0)
     }
 
     /// A residential broadband link — the browser substrate's historical
     /// defaults, so this preset reprices existing crawls without changing
     /// their behaviour.
     pub fn broadband() -> Self {
-        LinkProfile {
-            name: "broadband".to_string(),
-            rtt_ms: 30,
-            bandwidth_bytes_per_ms: 6_000,
-            loss_ppm: 1_000,
-        }
+        LinkProfile::new("broadband", 30, 6_000, 1_000)
     }
 
     /// The lossy cellular path of Goel et al.: 120 ms, ~12 Mbit/s, 2 % loss.
     pub fn lossy_cellular() -> Self {
-        LinkProfile {
-            name: "lossy-cellular".to_string(),
-            rtt_ms: 120,
-            bandwidth_bytes_per_ms: 1_500,
-            loss_ppm: 20_000,
-        }
+        LinkProfile::new("lossy-cellular", 120, 1_500, 20_000)
     }
 
     /// The three presets, in increasing order of per-connection pain.
@@ -134,6 +137,12 @@ mod tests {
         assert_eq!(bb.bandwidth_bytes_per_ms, 6_000);
         assert_eq!(loss_retransmit_extra(bb.rtt(), 2, bb.loss_ppm), Duration::ZERO);
         assert_eq!(loss_retransmit_extra(bb.rtt(), 3, bb.loss_ppm), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_is_rejected_at_construction() {
+        let _ = LinkProfile::new("broken", 30, 0, 0);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub struct RecursiveResolver {
     pool: Vec<(Vec<netsim_types::IpAddr>, Vec<DomainName>)>,
     /// Scratch buffer for authority queries (reused across lookups).
     records: Vec<ResourceRecord>,
+    /// Scratch buffer of names collected by [`RecursiveResolver::expire_stale`]
+    /// (reused across sweeps).
+    expired: Vec<DomainName>,
     /// Cumulative statistics, exposed for tests and reports.
     stats: ResolverStats,
 }
@@ -115,6 +118,7 @@ impl RecursiveResolver {
             cache: FnvHashMap::default(),
             pool: Vec::new(),
             records: Vec::new(),
+            expired: Vec::new(),
             stats: ResolverStats::default(),
         }
     }
@@ -143,6 +147,30 @@ impl RecursiveResolver {
             addresses.clear();
             cname_chain.clear();
             self.pool.push((addresses, cname_chain));
+        }
+    }
+
+    /// Drop only the cached answers whose TTL has passed at `now`, recycling
+    /// their buffers. This is the *session* cache discipline: a multi-page
+    /// user session carries its DNS cache across navigations (unlike the
+    /// measurement methodology's per-visit flush) and sweeps expired lines at
+    /// page boundaries. [`RecursiveResolver::resolve`] re-checks freshness on
+    /// every lookup anyway, so the sweep only bounds cache growth and keeps
+    /// [`RecursiveResolver::cache_len`] an honest live-entry count.
+    pub fn expire_stale(&mut self, now: Instant) {
+        self.expired.clear();
+        for (name, line) in self.cache.iter() {
+            if !line.answer.fresh_at(now) {
+                self.expired.push(*name);
+            }
+        }
+        for index in 0..self.expired.len() {
+            if let Some(line) = self.cache.remove(&self.expired[index]) {
+                let Answer { mut addresses, mut cname_chain, .. } = line.answer;
+                addresses.clear();
+                cname_chain.clear();
+                self.pool.push((addresses, cname_chain));
+            }
         }
     }
 
@@ -392,6 +420,30 @@ mod tests {
         assert_eq!(r.cache_len(), 0);
         r.resolve(&auth, &d("example.com"), Instant::EPOCH).unwrap();
         assert_eq!(r.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn expire_stale_drops_only_expired_lines_and_recycles_buffers() {
+        let auth = authority();
+        let mut r = resolver();
+        let t0 = Instant::EPOCH;
+        // Two lines: lb has a 30 s TTL, example.com the 1 h resolver clamp.
+        let stale_ptr = r.resolve(&auth, &d("lb.example.com"), t0).unwrap().addresses.as_ptr();
+        r.resolve(&auth, &d("example.com"), t0).unwrap();
+        assert_eq!(r.cache_len(), 2);
+        // At t0+45 s only the lb line has expired.
+        r.expire_stale(t0 + Duration::from_secs(45));
+        assert_eq!(r.cache_len(), 1);
+        // The fresh line still serves from cache...
+        r.resolve(&auth, &d("example.com"), t0 + Duration::from_secs(45)).unwrap();
+        assert_eq!(r.stats().cache_hits, 1);
+        // ...and re-resolving the expired name reuses the recycled buffer.
+        let reused_ptr =
+            r.resolve(&auth, &d("lb.example.com"), t0 + Duration::from_secs(45)).unwrap().addresses.as_ptr();
+        assert_eq!(stale_ptr, reused_ptr, "expire_stale must recycle buffers into the pool");
+        // A sweep with nothing expired is a no-op.
+        r.expire_stale(t0 + Duration::from_secs(46));
+        assert_eq!(r.cache_len(), 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | `sweep`    | the 2^4 mitigation what-if matrix (§7 directions) |
 //! | `cost`     | the mitigation matrix priced in RTTs/bytes/PLT under three link profiles |
 //! | `atlas`    | the paper-scale population scenario (100 k–1 M sites, work-stealing execution, streaming aggregation) |
+//! | `fleet`    | multi-page user sessions over a first-class connection-pool lifecycle (warm vs. cold redundancy tax) |
 //!
 //! The [`atlas`] module is the scale engine: it fans fixed site chunks over
 //! the work-stealing executor (`connreuse_executor`), one pooled
@@ -47,6 +48,7 @@
 
 pub mod atlas;
 pub mod cost;
+pub mod fleet;
 pub mod paper;
 pub mod render;
 pub mod runner;
@@ -55,6 +57,7 @@ pub mod sweep;
 
 pub use atlas::{run_atlas, run_atlas_partitioned, AtlasConfig, AtlasMetrics, AtlasReport, BenchFile};
 pub use cost::{run_cost, CostCell, CostConfig, CostReport};
+pub use fleet::{run_fleet, FleetCell, FleetConfig, FleetReport};
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
     "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "cost", "atlas",
+    "fleet",
 ];
 
 /// The rendered result of one experiment.
@@ -58,6 +59,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "sweep" => sweep(scenario),
         "cost" => cost(scenario),
         "atlas" => atlas(scenario),
+        "fleet" => fleet(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
     Ok(ExperimentOutput { name: name.to_string(), text })
@@ -676,6 +678,14 @@ fn cost(scenario: &Scenario) -> String {
 /// available via the `connreuse-atlas` bin.
 fn atlas(scenario: &Scenario) -> String {
     crate::atlas::run_atlas(&crate::atlas::AtlasConfig::from_scenario(&scenario.config)).render()
+}
+
+/// Multi-page user sessions over the connection-pool lifecycle (see
+/// [`crate::fleet`] for the engine): the redundancy tax of the measured web
+/// when cross-page reuse, TLS resumption and a session DNS cache are allowed
+/// to amortise it — versus the paper's cold single-visit methodology.
+fn fleet(scenario: &Scenario) -> String {
+    crate::fleet::run_fleet(&crate::fleet::FleetConfig::from_scenario(&scenario.config)).render()
 }
 
 #[cfg(test)]

@@ -29,6 +29,22 @@ pub enum ConnectionState {
     Closed,
 }
 
+/// Why a connection was torn down — lifecycle accounting for the pooled,
+/// multi-page session model. Single-page visits close connections implicitly
+/// (the visit ends) and leave the reason unset; the pool records which of its
+/// policies pulled the trigger so fleet reports can attribute churn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloseReason {
+    /// Sat unused in the pool past the client's idle timeout.
+    IdleTimeout,
+    /// Evicted because the pool hit its max-size cap (LRU victim).
+    PoolCapacity,
+    /// The server's own connection lifetime expired (lifetime churn).
+    ServerLifetime,
+    /// The user session ended and drained its pool.
+    SessionEnd,
+}
+
 /// Errors from connection operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConnectionError {
@@ -83,6 +99,9 @@ pub struct Connection {
     pub established_at: Instant,
     /// When it was closed, if it has been.
     pub closed_at: Option<Instant>,
+    /// Why it was closed, when a pool lifecycle policy did it. `None` for an
+    /// open connection and for the implicit end-of-visit close.
+    pub close_reason: Option<CloseReason>,
     /// Lifecycle state.
     pub state: ConnectionState,
     /// Our settings.
@@ -133,6 +152,7 @@ impl Connection {
             credentialed,
             established_at,
             closed_at: None,
+            close_reason: None,
             state: ConnectionState::Open,
             local_settings: Settings::chromium_client(),
             remote_settings,
@@ -172,6 +192,7 @@ impl Connection {
         self.credentialed = credentialed;
         self.established_at = established_at;
         self.closed_at = None;
+        self.close_reason = None;
         self.state = ConnectionState::Open;
         self.local_settings = Settings::chromium_client();
         self.remote_settings = remote_settings;
@@ -289,6 +310,16 @@ impl Connection {
         }
     }
 
+    /// Close the connection at `now`, recording which pool lifecycle policy
+    /// closed it. The first close wins: a later call never overwrites the
+    /// recorded time or reason.
+    pub fn close_with_reason(&mut self, now: Instant, reason: CloseReason) {
+        if self.closed_at.is_none() {
+            self.close_reason = Some(reason);
+        }
+        self.close(now);
+    }
+
     /// `true` if the connection is usable for new requests at `now` (it has
     /// been established and not yet closed).
     pub fn is_open_at(&self, now: Instant) -> bool {
@@ -357,7 +388,7 @@ mod tests {
         shell.complete_response(s2, &d("img.example.com"), 421, 0).unwrap();
         shell.receive_origin_set([d("img.example.com")]);
         shell.receive_goaway();
-        shell.close(Instant::from_millis(9_000));
+        shell.close_with_reason(Instant::from_millis(9_000), CloseReason::IdleTimeout);
 
         let certificate = certificate_for(&["shop.example.org"]);
         shell.reestablish(
@@ -427,6 +458,23 @@ mod tests {
         assert!(!conn.is_open_at(Instant::from_millis(6000)));
         assert_eq!(conn.lifetime().unwrap().as_millis(), 5000);
         assert_eq!(conn.state, ConnectionState::Closed);
+    }
+
+    #[test]
+    fn close_with_reason_records_the_first_close_only() {
+        let mut conn = connection();
+        assert_eq!(conn.close_reason, None);
+        conn.close_with_reason(Instant::from_millis(4_000), CloseReason::ServerLifetime);
+        assert_eq!(conn.close_reason, Some(CloseReason::ServerLifetime));
+        assert_eq!(conn.closed_at, Some(Instant::from_millis(4_000)));
+        // Already closed: neither the time nor the reason moves.
+        conn.close_with_reason(Instant::from_millis(9_000), CloseReason::SessionEnd);
+        assert_eq!(conn.close_reason, Some(CloseReason::ServerLifetime));
+        assert_eq!(conn.closed_at, Some(Instant::from_millis(4_000)));
+        // A plain close never invents a reason.
+        let mut plain = connection();
+        plain.close(Instant::from_millis(1_000));
+        assert_eq!(plain.close_reason, None);
     }
 
     #[test]

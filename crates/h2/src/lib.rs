@@ -37,7 +37,7 @@ pub mod reuse;
 pub mod settings;
 pub mod stream;
 
-pub use connection::{Connection, ConnectionError, ConnectionState};
+pub use connection::{CloseReason, Connection, ConnectionError, ConnectionState};
 pub use cwnd::{slow_start_rounds, INITIAL_CWND_OCTETS};
 pub use frame::{Frame, FrameDecodeError, FrameType, OriginEntry};
 pub use hpack::{Header, HpackContext};

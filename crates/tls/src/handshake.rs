@@ -74,6 +74,15 @@ impl HandshakeConfig {
         rtt.times(self.setup_rtts() as u64)
     }
 
+    /// This configuration with session resumption switched on: the tariff a
+    /// client pays when it holds a fresh session ticket for the origin. The
+    /// multi-page session loader applies it per connection — the *first*
+    /// handshake against an origin runs at the configured (usually full)
+    /// price and mints the ticket, later ones in the same session resume.
+    pub fn resumed(self) -> Self {
+        HandshakeConfig { session_resumption: true, ..self }
+    }
+
     /// Approximate octets a *new* connection spends on the wire before the
     /// first HTTP request: transport handshake segments plus the TLS flights.
     ///
@@ -125,6 +134,17 @@ mod tests {
     fn tls12_adds_a_round_trip() {
         let cfg = HandshakeConfig { version: TlsVersion::Tls12, ..Default::default() };
         assert_eq!(cfg.setup_rtts(), 3);
+    }
+
+    #[test]
+    fn resumed_enables_resumption_and_keeps_the_rest() {
+        let full = HandshakeConfig { version: TlsVersion::Tls12, session_resumption: false, quic: true };
+        let resumed = full.resumed();
+        assert!(resumed.session_resumption);
+        assert_eq!(resumed.version, full.version);
+        assert_eq!(resumed.quic, full.quic);
+        // Idempotent: resuming an already-resumed config changes nothing.
+        assert_eq!(resumed.resumed(), resumed);
     }
 
     #[test]

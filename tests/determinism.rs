@@ -4,7 +4,9 @@
 //! subsystem starts consuming ambient entropy (hash-map iteration order,
 //! wall-clock time, thread interleavings), this test catches it.
 
-use connreuse::experiments::{run_atlas, run_cost, AtlasConfig, CostConfig, Scenario, ScenarioConfig};
+use connreuse::experiments::{
+    run_atlas, run_cost, run_fleet, AtlasConfig, CostConfig, FleetConfig, Scenario, ScenarioConfig,
+};
 use connreuse::prelude::*;
 use connreuse::quick_analysis;
 
@@ -120,6 +122,27 @@ fn cost_reports_are_thread_count_invariant() {
     );
     // And the cost pipeline is seed-sensitive like every other one.
     let other_seed = run_cost(&CostConfig { sites: 30, seed: 12, threads: 8 });
+    assert_ne!(sequential.cells, other_seed.cells);
+}
+
+/// The fleet drives stateful multi-page sessions (warm connection pool, TLS
+/// tickets, session DNS cache) and shards its 29 cells across worker
+/// threads. Session state makes this the hardest determinism surface in the
+/// workspace: every navigation and lifetime draw forks off the global
+/// session index, so the cells *and* the rendered report must be
+/// byte-identical for `threads = 1` and `threads = 8`.
+#[test]
+fn fleet_reports_are_thread_count_invariant() {
+    let sequential = run_fleet(&FleetConfig { sites: 24, sessions: 10, seed: 11, threads: 1 });
+    let parallel = run_fleet(&FleetConfig { sites: 24, sessions: 10, seed: 11, threads: 8 });
+    assert_eq!(sequential.cells, parallel.cells);
+    assert_eq!(
+        sequential.render(),
+        parallel.render(),
+        "rendered fleet reports must be byte-identical across thread counts"
+    );
+    // And the fleet is seed-sensitive like every other pipeline.
+    let other_seed = run_fleet(&FleetConfig { sites: 24, sessions: 10, seed: 12, threads: 8 });
     assert_ne!(sequential.cells, other_seed.cells);
 }
 

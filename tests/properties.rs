@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! classifier invariants.
 
+use connreuse::browser::{
+    Browser, BrowserConfig, ConnectionDurationModel, PoolConfig, UserSession, VisitScratch,
+};
 use connreuse::core::{
     classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation,
 };
@@ -12,8 +15,9 @@ use connreuse::h2::reuse::{evaluate, ReusePolicy};
 use connreuse::h2::{Connection, Settings};
 use connreuse::tls::{Certificate, CertificateId, CertificateStore, IssuancePolicy, Issuer, SanEntry};
 use connreuse::types::{
-    ConnectionId, DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, Origin,
+    ConnectionId, DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, Origin, SimClock, SimRng,
 };
+use connreuse::web::{PopulationBuilder, PopulationProfile};
 use proptest::prelude::*;
 
 /// A small universe of domains so that random SAN lists actually cover some
@@ -364,6 +368,64 @@ proptest! {
         prop_assert!(answer.len() <= pool.len());
         prop_assert!(answer.iter().all(|ip| pool.contains(ip)));
         prop_assert_eq!(answer.clone(), policy.select(&domain, &ctx));
+    }
+
+    /// A warm session never opens *more* connections than the same pages
+    /// visited cold. With server churn disabled and a pool roomy enough to
+    /// avoid eviction, every reuse candidate the cold path sees is also
+    /// available warm (plus the pooled survivors), and both paths start each
+    /// page at the same epoch-aligned instant — so the warm candidate set is
+    /// a superset of the cold one, page by page.
+    #[test]
+    fn warm_sessions_never_open_more_connections_than_cold(
+        seed in 0u64..150,
+        pages in prop::collection::vec(0usize..6, 2usize..6),
+    ) {
+        let env = PopulationBuilder::new(PopulationProfile::alexa(), 6, seed).build();
+        // No server lifetime churn: the pool keeps everything it absorbs.
+        let config = BrowserConfig {
+            duration_model: ConnectionDurationModel::KeepOpen,
+            ..BrowserConfig::alexa_measurement()
+        };
+        // Pages start at fixed 60 s marks; the whole trace stays inside one
+        // 10-minute DNS load-balancer epoch, so cached answers never diverge
+        // from fresh ones.
+        let page_start = |index: usize| Instant::EPOCH + Duration::from_secs(60 * index as u64);
+        let mut scratch = VisitScratch::without_netlog();
+
+        let mut cold_opens = 0u64;
+        {
+            let mut browser = Browser::with_id_base(config.clone(), 0);
+            let mut rng = SimRng::new(seed).fork("cold");
+            for (index, &site) in pages.iter().enumerate() {
+                let mut clock = SimClock::starting_at(page_start(index));
+                browser.load_page_into(&mut scratch, &env, &env.sites[site], &mut clock, &mut rng);
+                cold_opens += scratch.timeline().connections_opened;
+            }
+        }
+
+        let mut warm_opens = 0u64;
+        {
+            let pool = PoolConfig { max_connections: 256, idle_timeout: Duration::from_secs(600) };
+            let mut session = UserSession::new(pool);
+            let mut browser = Browser::with_id_base(config, 0);
+            let mut rng = SimRng::new(seed).fork("warm");
+            let mut clock = SimClock::new();
+            for (index, &site) in pages.iter().enumerate() {
+                clock.advance_to(page_start(index));
+                browser.load_session_page_into(
+                    &mut scratch, &mut session, &env, &env.sites[site], &mut clock, &mut rng,
+                );
+                warm_opens += scratch.timeline().connections_opened;
+            }
+            session.end(&mut scratch, clock.now());
+        }
+
+        prop_assert!(
+            warm_opens <= cold_opens,
+            "warm sessions opened {warm_opens} connections where cold visits opened {cold_opens} \
+             (seed {seed}, pages {pages:?})"
+        );
     }
 
     /// HPACK: the encoded block is never larger than the uncompressed header
