@@ -276,11 +276,16 @@ impl ConnectionPool {
 
 /// One draw of the server-side duration model: `Some(teardown_instant)` with
 /// the model's close probability, `None` (server keeps it open) otherwise.
-/// The lifetime distribution is the same `0.5×..2×`-the-median spread the
-/// single-page loader applies post-hoc — the pool samples it *once per
-/// connection* so the draw is independent of how many pages the connection
-/// survives.
-fn sample_server_lifetime(
+/// The lifetime distribution is a `0.5×..2×`-the-median spread.
+///
+/// This is **the** lifetime sampler — the single-page loader's post-hoc
+/// duration pass and the session pool's absorb both call it, so the two
+/// paths draw from the identical distribution in the identical RNG order
+/// (`chance`, then `unit` only when the close fires; pinned by
+/// `loader::tests::loader_duration_pass_matches_the_pool_sampler`). The
+/// pool samples it *once per connection* so the draw is independent of how
+/// many pages the connection survives.
+pub(crate) fn sample_server_lifetime(
     rng: &mut SimRng,
     churn: &ConnectionDurationModel,
     established_at: Instant,
@@ -303,6 +308,40 @@ fn sample_server_lifetime(
 mod tests {
     use super::*;
     use netsim_h2::Settings;
+
+    /// The documented exception to the all-integer virtual clock (see the
+    /// determinism-contract section of ARCHITECTURE.md): the lifetime spread
+    /// `0.5 + unit() * 1.5` is `f64` math. It is stable anyway — IEEE 754
+    /// multiplication/addition are exactly specified, `ChaCha12` produces
+    /// identical `unit()` draws from a seed everywhere, and the final
+    /// `as u64` cast truncates deterministically — so the sampled
+    /// *milliseconds* are bit-identical across platforms. This test pins the
+    /// exact values; if it ever fails on some target, the exception has
+    /// stopped being safe and the spread must move to integer-millis
+    /// sampling (regenerating every golden that records connection closes).
+    #[test]
+    fn lifetime_sampler_is_bit_stable_across_platforms() {
+        let model =
+            ConnectionDurationModel::IdleTimeouts { close_probability: 1.0, median_lifetime_secs: 122 };
+        let mut rng = SimRng::new(42);
+        let drawn: Vec<u64> = (0..5)
+            .map(|_| {
+                let closed = sample_server_lifetime(&mut rng, &model, Instant::EPOCH)
+                    .expect("close_probability 1.0 always closes");
+                (closed - Instant::EPOCH).as_millis()
+            })
+            .collect();
+        assert_eq!(drawn, vec![116_528, 151_353, 105_206, 206_386, 202_719]);
+
+        // KeepOpen consumes no randomness at all: the stream is exactly
+        // where the draws above left it.
+        let mut probe = rng.clone();
+        assert_eq!(
+            sample_server_lifetime(&mut rng, &ConnectionDurationModel::KeepOpen, Instant::EPOCH),
+            None
+        );
+        assert_eq!(rng.unit().to_bits(), probe.unit().to_bits());
+    }
     use netsim_tls::{Certificate, CertificateStore, IssuancePolicy, Issuer};
     use netsim_types::{DomainName, IpAddr};
     use std::sync::Arc;

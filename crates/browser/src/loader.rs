@@ -1,15 +1,18 @@
 //! The page loader: Chromium's session pool + coalescing + Fetch partition.
 
-use crate::config::{BrowserConfig, ConnectionDurationModel};
+use crate::config::BrowserConfig;
+use crate::connpool::sample_server_lifetime;
 use crate::netlog::NetLogEventKind;
 use crate::scratch::{ScratchRequest, VisitScratch, VisitTimes};
 use crate::session::{ResumptionCache, UserSession};
 use crate::visit::PageVisit;
-use netsim_cost::loss_retransmit_extra;
+use netsim_cost::loss_retransmit_extra_micros;
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
 use netsim_fetch::partition_for_planned;
 use netsim_h2::reuse::evaluate_set;
 use netsim_h2::{Connection, Settings};
+use netsim_types::profile::Stage;
+use netsim_types::stage;
 use netsim_types::{ConnectionId, Duration, IdAllocator, Instant, Origin, RequestId, SimClock, SimRng};
 use netsim_web::{PlannedRequest, WebEnvironment, Website};
 use std::sync::Arc;
@@ -102,18 +105,17 @@ impl Browser {
 
         let finished_at = self.walk_plan(scratch, env, site, clock, started_at, None);
 
-        // Assign connection end times according to the duration model.
-        if let ConnectionDurationModel::IdleTimeouts { close_probability, median_lifetime_secs } =
-            self.config.duration_model
+        // Assign connection end times according to the duration model, one
+        // draw per connection through the shared sampler (the session pool's
+        // absorb uses the same one, so both paths stay distribution- and
+        // RNG-order-identical). `KeepOpen` draws nothing and closes nothing.
         {
             let netlog_enabled = scratch.netlog_enabled();
             let (connections, netlog) = scratch.connections_and_netlog_mut();
             for connection in connections.iter_mut() {
-                if rng.chance(close_probability) {
-                    let factor = 0.5 + rng.unit() * 1.5; // 0.5x .. 2.0x the median
-                    let lifetime =
-                        Duration::from_millis((median_lifetime_secs as f64 * 1000.0 * factor) as u64);
-                    let closed_at = connection.established_at + lifetime;
+                if let Some(closed_at) =
+                    sample_server_lifetime(rng, &self.config.duration_model, connection.established_at)
+                {
                     connection.close(closed_at);
                     if netlog_enabled {
                         netlog.record(
@@ -209,6 +211,7 @@ impl Browser {
                 tickets.as_deref_mut(),
             );
             if let Some(entry) = outcome {
+                stage!(Stage::TransferClock);
                 finished_at =
                     finished_at.max(entry.started_at + rtt + transfer_time(entry.body_size, &self.config));
                 if scratch.cost_enabled() {
@@ -238,6 +241,7 @@ impl Browser {
                 .record(finished_at, NetLogEventKind::PageLoadFinished { requests: scratch.requests.len() });
         }
         if scratch.cost_enabled() {
+            stage!(Stage::CostFold);
             // Cold-window penalty: every opened connection pays the
             // slow-start rounds its delivered bytes needed (a reused
             // connection would have carried them on an already-grown
@@ -280,20 +284,24 @@ impl Browser {
 
         // 1. Direct session-pool hit: same origin, same credentials partition.
         let mut chosen: Option<usize> = None;
-        for (index, connection) in scratch.connections.iter().enumerate() {
-            if connection.initial_origin == target_origin
-                && connection.credentialed == credentialed
-                && connection.can_open_stream()
-                && !connection.excluded_domains.contains(&planned.domain)
-            {
-                chosen = Some(index);
-                break;
+        {
+            stage!(Stage::ReuseScan);
+            for (index, connection) in scratch.connections.iter().enumerate() {
+                if connection.initial_origin == target_origin
+                    && connection.credentialed == credentialed
+                    && connection.can_open_stream()
+                    && !connection.excluded_domains.contains(&planned.domain)
+                {
+                    chosen = Some(index);
+                    break;
+                }
             }
         }
 
         // 2. Coalescing: resolve the host and run the RFC 7540 §9.1.1 check
         //    against every live session.
         let target_ip = {
+            stage!(Stage::DnsWalk);
             let netlog_enabled = scratch.netlog_enabled();
             let cost_enabled = scratch.cost_enabled();
             let resolver = scratch.resolver_mut();
@@ -336,6 +344,7 @@ impl Browser {
         };
 
         if chosen.is_none() {
+            stage!(Stage::ReuseScan);
             scratch.refusals.clear();
             for (index, connection) in scratch.connections.iter().enumerate() {
                 if !connection.is_open_at(clock.now()) {
@@ -387,6 +396,7 @@ impl Browser {
                 index
             }
             None => {
+                stage!(Stage::Handshake);
                 let certificate = Arc::clone(
                     env.certificate_arc_for(&planned.domain)
                         .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain)),
@@ -399,14 +409,24 @@ impl Browser {
                     _ => self.config.handshake,
                 };
                 let setup_rtts = u64::from(handshake.setup_rtts());
-                let setup = handshake.setup_latency(rtt)
-                    + loss_retransmit_extra(rtt, setup_rtts, self.config.loss_ppm);
+                // Loss retransmissions are priced exactly (in microseconds)
+                // and folded into a per-visit carry; the integer-millisecond
+                // clock is charged each time the carry crosses another whole
+                // millisecond. Rounding therefore happens once per visit —
+                // truncating per connection let every sub-millisecond setup
+                // penalty (all of broadband's) ride for free.
+                let loss_micros = loss_retransmit_extra_micros(rtt, setup_rtts, self.config.loss_ppm);
+                let charged_ms = scratch.loss_carry_micros / 1_000;
+                scratch.loss_carry_micros += loss_micros;
+                let loss_ms = scratch.loss_carry_micros / 1_000 - charged_ms;
+                let setup = handshake.setup_latency(rtt) + Duration::from_millis(loss_ms);
                 clock.advance(setup);
                 if scratch.cost_enabled() {
                     scratch.timeline.connections_opened += 1;
                     scratch.timeline.handshake_rtts += setup_rtts;
                     scratch.timeline.handshake_octets += handshake.handshake_octets();
                     scratch.timeline.handshake_millis += setup.as_millis();
+                    scratch.timeline.loss_retransmit_micros += loss_micros;
                     if handshake.session_resumption {
                         scratch.timeline.resumed_handshakes += 1;
                     }
@@ -460,6 +480,7 @@ impl Browser {
             }
         };
 
+        let encode_guard = netsim_types::profile::enter(Stage::RequestEncode);
         let cookie = if credentialed { Some("sid=0123456789abcdef") } else { None };
         let connection = &mut scratch.connections[index];
         let stream = match connection.send_request(&planned.domain, &planned.path, cookie) {
@@ -470,6 +491,7 @@ impl Browser {
         connection
             .complete_response(stream, &planned.domain, status, planned.body_size)
             .expect("stream was just opened");
+        drop(encode_guard);
         if status != 200 {
             scratch.any_non_ok = true;
         }
@@ -715,6 +737,36 @@ mod tests {
         assert!(total > 0);
         // ~3.5 % close early; with a few hundred connections expect under 15 %.
         assert!((closed as f64) < total as f64 * 0.15, "closed {closed} of {total}");
+    }
+
+    #[test]
+    fn loader_duration_pass_matches_the_pool_sampler() {
+        // The dedup regression: the loader's post-hoc duration pass used to
+        // re-implement the server-lifetime draw inline. Both call sites now
+        // share `connpool::sample_server_lifetime`; from the same seed, a
+        // visit's recorded teardown instants must be exactly what replaying
+        // the shared sampler over its connections (in establishment order)
+        // produces — same draws, same order, same closes.
+        let env = environment(30, 7);
+        let config = BrowserConfig::alexa_measurement();
+        let mut any_closed = false;
+        for index in 0..env.sites.len() {
+            let mut browser = Browser::new(config.clone());
+            let mut clock = SimClock::new();
+            let mut rng = SimRng::new(99);
+            let visit = browser.load_page(&env, &env.sites[index], &mut clock, &mut rng);
+
+            // The visit rng is consumed only by the duration pass, so a
+            // fresh same-seed rng replays it draw for draw.
+            let mut replay = SimRng::new(99);
+            for connection in &visit.connections {
+                let expected =
+                    sample_server_lifetime(&mut replay, &config.duration_model, connection.established_at);
+                assert_eq!(connection.closed_at, expected, "site {index}");
+                any_closed |= expected.is_some();
+            }
+        }
+        assert!(any_closed, "the model must close at least one connection across the sample");
     }
 
     #[test]

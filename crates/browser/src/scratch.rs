@@ -97,6 +97,12 @@ pub struct VisitScratch {
     /// of `Copy` integer counters — accounting never allocates.
     pub(crate) timeline: VisitTimeline,
     cost_enabled: bool,
+    /// Running per-visit sum of exact loss-retransmission microseconds. The
+    /// loader charges the clock only each time this crosses another whole
+    /// millisecond, so rounding happens once per visit instead of once per
+    /// connection (the free-ride fix). Lives outside the `cost_enabled` gate:
+    /// the clock must advance identically whether or not a timeline is kept.
+    pub(crate) loss_carry_micros: u64,
 }
 
 impl VisitScratch {
@@ -149,6 +155,7 @@ impl VisitScratch {
         self.netlog.clear();
         self.any_non_ok = false;
         self.timeline.reset();
+        self.loss_carry_micros = 0;
         let rebuild = match &self.resolver {
             Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
             None => true,
@@ -182,6 +189,7 @@ impl VisitScratch {
         self.netlog.clear();
         self.any_non_ok = false;
         self.timeline.reset();
+        self.loss_carry_micros = 0;
         let rebuild = match &self.resolver {
             Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
             None => true,

@@ -216,6 +216,54 @@ fn warm_session_pages_keep_the_zero_allocation_guarantee() {
     assert!(stats.inserted > 0);
 }
 
+#[cfg(feature = "hotpath-profile")]
+#[test]
+fn profiled_visits_keep_the_zero_allocation_guarantee() {
+    // The hotpath profiler must be free on the fast path even when it is
+    // *recording*: stage guards write into a fixed-size thread-local table,
+    // so a steady-state pass with `hotpath-profile` enabled still allocates
+    // exactly nothing — and the drained table proves the instrumentation
+    // was live, not compiled out.
+    use netsim_types::profile::{self, Stage};
+
+    let env = PopulationBuilder::new(PopulationProfile::alexa(), 40, 1337).build();
+    let crawler = Crawler::new("alloc-gate-profile", BrowserConfig::alexa_measurement(), 7);
+    let mut scratch = VisitScratch::without_netlog();
+
+    const MAX_WARMUP_PASSES: usize = 8;
+    let mut converged = false;
+    for _ in 0..MAX_WARMUP_PASSES {
+        let allocations = allocations_in(|| {
+            for index in 0..env.sites.len() {
+                let _ = crawler.visit_site_into(&mut scratch, &env, index);
+            }
+        });
+        if allocations == 0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "profiled visit loop still allocating after {MAX_WARMUP_PASSES} full passes");
+
+    // Drop the warm-up's recordings so the assertion below covers exactly
+    // the measured pass.
+    let _ = profile::take_local();
+
+    let allocations = allocations_in(|| {
+        for index in 0..env.sites.len() {
+            let _ = crawler.visit_site_into(&mut scratch, &env, index);
+        }
+    });
+    assert_eq!(allocations, 0, "stage guards must not allocate on the visit fast path");
+
+    let table = profile::take_local();
+    for stage in [Stage::DnsWalk, Stage::Handshake, Stage::RequestEncode, Stage::TransferClock] {
+        let stats = table.stats(stage);
+        assert!(stats.count > 0, "stage {} recorded nothing in the measured pass", stage.name());
+        assert!(stats.total_nanos > 0, "stage {} recorded zero time", stage.name());
+    }
+}
+
 #[test]
 fn netlog_scratch_reaches_zero_allocations_once_netlog_is_disabled() {
     // The same loop with NetLog recording enabled must allocate (events own

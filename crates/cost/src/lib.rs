@@ -49,7 +49,7 @@ pub mod session;
 pub mod timeline;
 pub mod totals;
 
-pub use link::{loss_retransmit_extra, LinkProfile};
+pub use link::{loss_retransmit_extra, loss_retransmit_extra_micros, LinkProfile};
 pub use session::SessionTotals;
 pub use timeline::VisitTimeline;
 pub use totals::CostTotals;

@@ -8,11 +8,14 @@
 //!   from: ~2 ms to well-peered servers, effectively loss-free.
 //! * [`LinkProfile::broadband`] — a residential access link. RTT and
 //!   bandwidth are deliberately identical to the browser substrate's
-//!   historical defaults (30 ms, 6 000 bytes/ms), and its 0.1 % loss rate
-//!   floors to a zero per-connection retransmission charge in integer
-//!   milliseconds — so crawling under `broadband` reproduces the historical
-//!   visit dynamics exactly (pinned in the tests below; the cost sweep's
-//!   broadband-baseline-equals-sweep-baseline test depends on it).
+//!   historical defaults (30 ms, 6 000 bytes/ms). Its 0.1 % loss rate
+//!   amounts to ~60 µs per two-round-trip setup — less than a whole
+//!   millisecond per connection, which is why the penalty is computed in
+//!   **microseconds** ([`loss_retransmit_extra_micros`]) and carried as a
+//!   sub-millisecond remainder across a visit's connections instead of
+//!   being truncated per call (per-call truncation charged broadband
+//!   exactly zero on every setup, a free ride the aggregate loss tax
+//!   inherited across millions of connections).
 //! * [`LinkProfile::lossy_cellular`] — the lossy cellular path of Goel et
 //!   al.: ~120 ms RTT, ~12 Mbit/s and 2 % packet loss, where every extra
 //!   handshake hurts the most.
@@ -92,20 +95,35 @@ impl LinkProfile {
 }
 
 /// Expected extra latency that packet loss adds to `rtts` sequential round
-/// trips: each round trip is retried with probability `p`, costing one more
-/// RTT, so the expected overhead is `rtts × p / (1 − p)` round trips.
+/// trips, in **microseconds**: each round trip is retried with probability
+/// `p`, costing one more RTT, so the expected overhead is
+/// `rtts × p / (1 − p)` round trips.
 ///
 /// Computed in pure integer arithmetic over parts-per-million so the result
-/// is deterministic everywhere; `loss_ppm = 0` yields exactly
-/// [`Duration::ZERO`], which keeps loss-free configurations byte-identical
-/// to the pre-cost-model behaviour.
-pub fn loss_retransmit_extra(rtt: Duration, rtts: u64, loss_ppm: u32) -> Duration {
+/// is deterministic everywhere; `loss_ppm = 0` yields exactly `0`, which
+/// keeps loss-free configurations byte-identical to the pre-cost-model
+/// behaviour. Microsecond resolution is the whole point: broadband's
+/// 1 000 ppm over a 2-RTT setup is worth 60 µs — real money across millions
+/// of connections, invisible to any per-call whole-millisecond rounding.
+/// Callers that charge the integer-millisecond virtual clock accumulate
+/// these exact values and round **once per visit** (the loader keeps a
+/// sub-millisecond carry in its scratch), never once per connection.
+pub fn loss_retransmit_extra_micros(rtt: Duration, rtts: u64, loss_ppm: u32) -> u64 {
     if loss_ppm == 0 || rtts == 0 {
-        return Duration::ZERO;
+        return 0;
     }
     let ppm = u64::from(loss_ppm.min(999_999));
-    let extra_ms = rtt.as_millis().saturating_mul(rtts).saturating_mul(ppm) / (1_000_000 - ppm);
-    Duration::from_millis(extra_ms)
+    rtt.as_millis().saturating_mul(1_000).saturating_mul(rtts).saturating_mul(ppm) / (1_000_000 - ppm)
+}
+
+/// [`loss_retransmit_extra_micros`] truncated to a whole-millisecond
+/// [`Duration`] — the aggregate repricing form ([`LinkProfile::time_for_rtts`]
+/// calls it once over a crawl's total round trips, where the sub-millisecond
+/// remainder is noise). Per-connection callers must use the microsecond form
+/// and carry the remainder; truncating here per call is exactly the
+/// free-ride bug the microsecond split fixed.
+pub fn loss_retransmit_extra(rtt: Duration, rtts: u64, loss_ppm: u32) -> Duration {
+    Duration::from_millis(loss_retransmit_extra_micros(rtt, rtts, loss_ppm) / 1_000)
 }
 
 #[cfg(test)]
@@ -124,19 +142,41 @@ mod tests {
 
     #[test]
     fn broadband_matches_the_browser_defaults() {
-        // The invariant the cost experiment's baseline depends on: pricing
-        // under `broadband` describes exactly the substrate's historical
-        // 30 ms / 6 000 bytes-per-ms configuration — including that its
-        // 0.1 % loss charges *zero* extra milliseconds per connection setup
-        // (a TCP+TLS1.3 handshake is 2 round trips), so the in-visit clock
-        // is identical to a loss-free run. If the retransmission model ever
-        // starts rounding up or accumulating sub-millisecond remainders,
-        // this fails before the cost-vs-sweep equivalence silently breaks.
+        // Pricing under `broadband` describes the substrate's historical
+        // 30 ms / 6 000 bytes-per-ms configuration, and its 0.1 % loss is
+        // worth 60 µs per 2-round-trip setup (90 µs per 3). The whole-
+        // millisecond form still truncates a single setup to zero — which
+        // is precisely why per-connection callers must use the microsecond
+        // form and carry the remainder across the visit (the loader does;
+        // ~17 broadband setups accumulate into a real millisecond instead
+        // of riding free).
         let bb = LinkProfile::broadband();
         assert_eq!(bb.rtt_ms, 30);
         assert_eq!(bb.bandwidth_bytes_per_ms, 6_000);
+        assert_eq!(loss_retransmit_extra_micros(bb.rtt(), 2, bb.loss_ppm), 60);
+        assert_eq!(loss_retransmit_extra_micros(bb.rtt(), 3, bb.loss_ppm), 90);
         assert_eq!(loss_retransmit_extra(bb.rtt(), 2, bb.loss_ppm), Duration::ZERO);
-        assert_eq!(loss_retransmit_extra(bb.rtt(), 3, bb.loss_ppm), Duration::ZERO);
+        // 17 two-RTT setups: 17 × 60 µs = 1 020 µs — one whole millisecond
+        // a per-call truncation would have dropped entirely.
+        assert_eq!(loss_retransmit_extra_micros(bb.rtt(), 2 * 17, bb.loss_ppm) / 1_000, 1);
+    }
+
+    #[test]
+    fn micros_and_millis_forms_agree_on_the_floor() {
+        // The Duration form is exactly the microsecond form truncated to
+        // whole milliseconds, for every profile and round-trip count.
+        for profile in LinkProfile::presets() {
+            for rtts in [0, 1, 2, 3, 10, 1_000] {
+                assert_eq!(
+                    loss_retransmit_extra(profile.rtt(), rtts, profile.loss_ppm),
+                    Duration::from_millis(
+                        loss_retransmit_extra_micros(profile.rtt(), rtts, profile.loss_ppm) / 1_000
+                    ),
+                    "{} × {rtts}",
+                    profile.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct VisitTimeline {
     /// Milliseconds the simulated clock actually charged for connection
     /// setup, including the loss-retransmission penalty.
     pub handshake_millis: u64,
+    /// Exact expected loss-retransmission latency across the visit's
+    /// connection setups, in **microseconds**. The clock charges the
+    /// whole-millisecond prefix of the running per-visit sum (the loader's
+    /// carry), so this field audits what the rounding kept: the visit's
+    /// charged loss milliseconds are `loss_retransmit_micros / 1000`.
+    pub loss_retransmit_micros: u64,
     /// Opened connections charged under the handshake config's
     /// session-resumption discount (fewer round trips, no certificate-chain
     /// flight). The model applies the discount per configuration, not per
@@ -79,6 +85,7 @@ impl VisitTimeline {
         self.handshake_rtts += other.handshake_rtts;
         self.handshake_octets += other.handshake_octets;
         self.handshake_millis += other.handshake_millis;
+        self.loss_retransmit_micros += other.loss_retransmit_micros;
         self.resumed_handshakes += other.resumed_handshakes;
         self.cold_cwnd_rtts += other.cold_cwnd_rtts;
         self.requests += other.requests;
@@ -118,6 +125,7 @@ mod tests {
             handshake_rtts: 10 * scale,
             handshake_octets: 9_000 * scale,
             handshake_millis: 300 * scale,
+            loss_retransmit_micros: 450 * scale,
             resumed_handshakes: scale,
             cold_cwnd_rtts: 6 * scale,
             requests: 12 * scale,

@@ -92,6 +92,7 @@ mod tests {
             handshake_rtts: 8 * scale,
             handshake_octets: 9_000 * scale,
             handshake_millis: 240 * scale,
+            loss_retransmit_micros: 130 * scale,
             resumed_handshakes: 0,
             cold_cwnd_rtts: 6 * scale,
             requests: 9 * scale,

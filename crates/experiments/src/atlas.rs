@@ -58,6 +58,7 @@ use connreuse_core::{
 use connreuse_executor::run_indexed;
 use netsim_browser::{BrowserConfig, Crawler, PooledScratch, ScratchPool, VisitScratch};
 use netsim_cost::{CostTotals, LinkProfile};
+use netsim_types::profile::Stage;
 use netsim_types::{interned_domain_count, interned_domain_octets, MitigationSet};
 use netsim_web::{DeploymentCache, PopulationBuilder, PopulationProfile};
 use serde::{Deserialize, Serialize};
@@ -337,6 +338,10 @@ impl<'pool> ChunkWorker<'pool> {
         (start, len): (usize, usize),
         deployments: &DeploymentCache,
     ) -> (Accumulator, AtlasTallies, CostTotals) {
+        // The whole chunk is one scaffold-stage scope: its wall-clock total
+        // is the envelope the interior visit stages must sum under, and its
+        // count is the number of chunks this worker ran.
+        let chunk_guard = netsim_types::profile::enter(Stage::ChunkLoop);
         // Both profiles carry the scenario name so generated domains read
         // `atlas-site-000123.<tld>` regardless of which profile a rank draws.
         let mut head = PopulationProfile::alexa();
@@ -364,15 +369,22 @@ impl<'pool> ChunkWorker<'pool> {
             tallies.requests += self.scratch.requests().len();
             cost.absorb_visit(self.scratch.timeline());
             if self.scratch.all_ok() {
+                netsim_types::stage!(Stage::Classify);
                 let counts = classify_scratch(&mut self.classifier, &self.scratch, DurationModel::Recorded);
                 accumulator.observe_counts(&counts);
             } else {
                 // A non-200 response (HTTP 421 exclusion) appeared: fall
                 // back to the full observation pipeline for this site.
+                netsim_types::stage!(Stage::Classify);
                 let visit = self.scratch.to_page_visit(&env.sites[index], times);
                 accumulator.observe(&classify_site(&site_from_visit(&visit), DurationModel::Recorded));
             }
         }
+        drop(chunk_guard);
+        // One mutex hop per chunk: merge this worker's stage table into the
+        // process-wide one before the executor moves on (worker threads die
+        // with the run, thread-local tables must not die with them).
+        netsim_types::profile::flush_local();
         (accumulator, tallies, cost)
     }
 }

@@ -18,6 +18,7 @@
 //! `--bench-json` file — the scaling-curve workflow PERF.md describes.
 
 use connreuse_experiments::atlas::{run_atlas, AtlasConfig, AtlasReport, BenchFile};
+use connreuse_experiments::profile::{render_stage_table, ProfileFile};
 use std::path::PathBuf;
 
 /// Default file the `--bench-json` flag writes the machine-readable record
@@ -26,11 +27,19 @@ use std::path::PathBuf;
 /// not clobber it.
 const BENCH_JSON_PATH: &str = "BENCH_atlas.json";
 
+/// Default file `--profile-json` writes the per-stage table to. The
+/// committed per-stage *budgets* live in `BENCH_stages.json` at the repo
+/// root; fresh profiles go under `ci-artifacts/` where the bench guard's
+/// stage check picks them up.
+const PROFILE_JSON_PATH: &str = "ci-artifacts/PROFILE_atlas.json";
+
 struct CliOptions {
     config: AtlasConfig,
     out: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     bench_threads: Option<Vec<usize>>,
+    profile: bool,
+    profile_json: Option<PathBuf>,
     help: bool,
 }
 
@@ -39,6 +48,8 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut out = None;
     let mut bench_json = None;
     let mut bench_threads = None;
+    let mut profile = false;
+    let mut profile_json = None;
     let mut quick = false;
     let mut help = false;
     let mut args = std::env::args().skip(1).peekable();
@@ -83,6 +94,17 @@ fn parse_args() -> Result<CliOptions, String> {
                     PathBuf::from(BENCH_JSON_PATH)
                 });
             }
+            "--profile" => profile = true,
+            "--profile-json" => {
+                // Optional file operand: `--profile-json results/stages.json`.
+                let explicit = args.peek().filter(|next| !next.starts_with('-')).is_some();
+                profile_json = Some(if explicit {
+                    PathBuf::from(args.next().expect("peeked operand"))
+                } else {
+                    PathBuf::from(PROFILE_JSON_PATH)
+                });
+                profile = true;
+            }
             "--help" | "-h" => help = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -93,7 +115,7 @@ fn parse_args() -> Result<CliOptions, String> {
              full-run baseline); pass an explicit file, e.g. --bench-json quick-bench.json"
         ));
     }
-    Ok(CliOptions { config, out, bench_json, bench_threads, help })
+    Ok(CliOptions { config, out, bench_json, bench_threads, profile, profile_json, help })
 }
 
 /// `true` if `path` denotes the committed baseline file in the current
@@ -142,6 +164,10 @@ fn print_usage() {
     println!("  --bench-json [FILE]  write machine-readable run metrics (default {BENCH_JSON_PATH};");
     println!("               the committed copy is the full-run baseline — quick runs should");
     println!("               pass an explicit FILE)");
+    println!("  --profile    print the per-stage hotpath table to stderr (needs a build with");
+    println!("               --features hotpath-profile to record anything)");
+    println!("  --profile-json [FILE]  also write the stage table as JSON (default");
+    println!("               {PROFILE_JSON_PATH}; implies --profile)");
 }
 
 fn main() {
@@ -156,6 +182,18 @@ fn main() {
     if options.help {
         print_usage();
         return;
+    }
+
+    if options.profile {
+        // Drain whatever a previous in-process run may have left behind so
+        // the reported table covers exactly the runs below.
+        let _ = netsim_types::profile::take_global();
+        if !netsim_types::profile::enabled() {
+            eprintln!(
+                "profile: this build carries no instrumentation — rebuild with \
+                 `--features hotpath-profile` to collect stage timings"
+            );
+        }
     }
 
     let thread_counts = options.bench_threads.clone().unwrap_or_else(|| vec![options.config.threads]);
@@ -190,6 +228,34 @@ fn main() {
         }
     }
     let report = first.expect("at least one run");
+
+    if options.profile {
+        // Merged across every worker and every run above. Stage timings are
+        // wall-clock, so like the throughput metrics they go to stderr only.
+        let table = netsim_types::profile::take_global();
+        eprint!("{}", render_stage_table(&table));
+        if let Some(path) = &options.profile_json {
+            let file = ProfileFile::from_table(&table);
+            let json = match serde_json::to_string_pretty(&file) {
+                Ok(json) => json,
+                Err(error) => {
+                    eprintln!("error: cannot serialise stage profile: {error}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(error) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: cannot create {}: {error}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+            if let Err(error) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("stage profile written to {}", path.display());
+        }
+    }
 
     let text = report.render();
     println!("{text}");

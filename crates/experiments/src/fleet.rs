@@ -189,6 +189,10 @@ fn choose_site(rng: &mut SimRng, visited: &[usize], sites: usize) -> usize {
 /// population, warm through a [`UserSession`] or cold through the per-visit
 /// path when `pool` is `None`.
 fn run_cell(config: &FleetConfig, mitigations: MitigationSet, pool: Option<PoolConfig>) -> FleetCell {
+    // One fleet cell is the fleet's chunk: a scaffold-stage envelope around
+    // every session page it replays, flushed to the process-wide profile
+    // table before the worker thread moves on (or dies with the scope).
+    let cell_guard = netsim_types::profile::enter(netsim_types::profile::Stage::ChunkLoop);
     let env = PopulationBuilder::new(
         PopulationProfile::alexa(),
         config.sites,
@@ -250,6 +254,8 @@ fn run_cell(config: &FleetConfig, mitigations: MitigationSet, pool: Option<PoolC
     if let Some(session) = session_state.as_mut() {
         lifecycle.merge(&session.take_stats());
     }
+    drop(cell_guard);
+    netsim_types::profile::flush_local();
     FleetCell { mitigations, pool, totals, lifecycle }
 }
 

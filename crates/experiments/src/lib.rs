@@ -50,6 +50,7 @@ pub mod atlas;
 pub mod cost;
 pub mod fleet;
 pub mod paper;
+pub mod profile;
 pub mod render;
 pub mod runner;
 pub mod scenario;
@@ -58,6 +59,7 @@ pub mod sweep;
 pub use atlas::{run_atlas, run_atlas_partitioned, AtlasConfig, AtlasMetrics, AtlasReport, BenchFile};
 pub use cost::{run_cost, CostCell, CostConfig, CostReport};
 pub use fleet::{run_fleet, FleetCell, FleetConfig, FleetReport};
+pub use profile::{render_stage_table, ProfileFile, ProfileRecord};
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,185 @@
+//! Rendering and serialising the hotpath profiler's stage tables.
+//!
+//! The collector lives in [`netsim_types::profile`]; this module is the
+//! reporting side `connreuse-atlas --profile` uses:
+//!
+//! * [`render_stage_table`] — the human-readable per-stage table, printed to
+//!   **stderr** next to the throughput metrics (stage timings are wall-clock
+//!   and machine-dependent, so they must never contaminate the deterministic
+//!   stdout report — the same rule `AtlasMetrics` follows),
+//! * [`ProfileFile`] — the machine-readable `--profile-json` schema the
+//!   bench guard's per-stage budget check reads. Budgets live in the
+//!   committed `BENCH_stages.json` baseline: one `max_share` per stage name,
+//!   compared against each fresh record's `share` field (see
+//!   `scripts/bench_guard.sh` and the PERF.md runbook).
+//!
+//! Shares are of [`StageTable::measured_total_nanos`] — the non-scaffold
+//! stages only. The scaffold `chunk-loop` row still appears in both outputs
+//! (its total is the wall-clock envelope, its share is reported as the
+//! *coverage* of the measured stages within it), but it carries no budget.
+
+use crate::render::TextTable;
+use netsim_types::profile::{Stage, StageTable};
+use serde::{Deserialize, Serialize};
+
+/// Schema version of [`ProfileFile`]. Version 1: `stages` rows with
+/// `stage` / `count` / `total_nanos` / `min_nanos` / `max_nanos` /
+/// `mean_nanos` / `share` fields.
+pub const PROFILE_SCHEMA: u32 = 1;
+
+/// One stage's aggregate, flattened for serialisation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// Stable stage name ([`Stage::name`]) — the budget key.
+    pub stage: String,
+    /// Times the stage scope ran.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_nanos: u64,
+    /// Fastest single entry.
+    pub min_nanos: u64,
+    /// Slowest single entry.
+    pub max_nanos: u64,
+    /// Mean nanoseconds per entry.
+    pub mean_nanos: f64,
+    /// Share of the measured (non-scaffold) total, in `[0, 1]`; `0` for
+    /// scaffold rows.
+    pub share: f64,
+}
+
+/// The `--profile-json` file: every stage that recorded at least once.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileFile {
+    /// Schema version ([`PROFILE_SCHEMA`]).
+    pub schema: u32,
+    /// Per-stage records, in [`Stage::ALL`] order, empty rows omitted.
+    pub stages: Vec<ProfileRecord>,
+}
+
+impl ProfileFile {
+    /// Flatten a merged stage table into the serialisable schema.
+    pub fn from_table(table: &StageTable) -> Self {
+        let stages = table
+            .iter()
+            .filter(|(_, stats)| stats.count > 0)
+            .map(|(stage, stats)| ProfileRecord {
+                stage: stage.name().to_string(),
+                count: stats.count,
+                total_nanos: stats.total_nanos,
+                min_nanos: stats.min_nanos,
+                max_nanos: stats.max_nanos,
+                mean_nanos: stats.mean_nanos(),
+                share: table.share_of_measured(stage),
+            })
+            .collect();
+        ProfileFile { schema: PROFILE_SCHEMA, stages }
+    }
+}
+
+/// Render the merged stage table as a human-readable text table (one row
+/// per stage that ran, plus a coverage line relating the measured stages to
+/// the scaffold envelope). Returns a diagnostic hint instead when the table
+/// is empty — typically a build without the `hotpath-profile` feature.
+pub fn render_stage_table(table: &StageTable) -> String {
+    if table.is_empty() {
+        return if netsim_types::profile::enabled() {
+            "profile: no stages recorded (nothing ran inside instrumented scopes)\n".to_string()
+        } else {
+            "profile: this build carries no instrumentation — rebuild with \
+             `--features hotpath-profile` to collect stage timings\n"
+                .to_string()
+        };
+    }
+
+    let mut text_table = TextTable::new(
+        "Hotpath stages (wall-clock, merged across workers)",
+        &["stage", "count", "total ms", "mean µs", "min µs", "max µs", "share"],
+    );
+    for (stage, stats) in table.iter() {
+        if stats.count == 0 {
+            continue;
+        }
+        let share = if stage.is_scaffold() {
+            "—".to_string()
+        } else {
+            format!("{:.1} %", table.share_of_measured(stage) * 100.0)
+        };
+        text_table.push_row([
+            stage.name().to_string(),
+            stats.count.to_string(),
+            format!("{:.2}", stats.total_nanos as f64 / 1e6),
+            format!("{:.2}", stats.mean_nanos() / 1e3),
+            format!("{:.2}", stats.min_nanos as f64 / 1e3),
+            format!("{:.2}", stats.max_nanos as f64 / 1e3),
+            share,
+        ]);
+    }
+
+    let mut out = text_table.render();
+    let envelope = table.stats(Stage::ChunkLoop).total_nanos;
+    if envelope > 0 {
+        out.push_str(&format!(
+            "measured stages cover {:.1} % of the chunk-loop envelope (rest: generation, \
+             scheduling, unprofiled glue)\n",
+            table.measured_total_nanos() as f64 / envelope as f64 * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> StageTable {
+        let mut table = StageTable::new();
+        for nanos in [1_000, 3_000] {
+            table.record(Stage::DnsWalk, nanos);
+        }
+        table.record(Stage::Handshake, 6_000);
+        table.record(Stage::ChunkLoop, 20_000);
+        table
+    }
+
+    #[test]
+    fn profile_file_flattens_non_empty_rows_with_shares() {
+        let file = ProfileFile::from_table(&sample_table());
+        assert_eq!(file.schema, PROFILE_SCHEMA);
+        let names: Vec<&str> = file.stages.iter().map(|row| row.stage.as_str()).collect();
+        assert_eq!(names, vec!["dns-walk", "handshake", "chunk-loop"]);
+        let dns = &file.stages[0];
+        assert_eq!((dns.count, dns.total_nanos, dns.min_nanos, dns.max_nanos), (2, 4_000, 1_000, 3_000));
+        assert_eq!(dns.mean_nanos, 2_000.0);
+        assert_eq!(dns.share, 0.4);
+        // The scaffold envelope is recorded but budget-free.
+        assert_eq!(file.stages[2].share, 0.0);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let file = ProfileFile::from_table(&sample_table());
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: ProfileFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn rendered_table_names_every_recorded_stage() {
+        let text = render_stage_table(&sample_table());
+        assert!(text.contains("dns-walk"));
+        assert!(text.contains("handshake"));
+        assert!(text.contains("chunk-loop"));
+        assert!(text.contains("40.0 %"), "dns-walk share of the measured total:\n{text}");
+        assert!(text.contains("cover 50.0 %"), "coverage of the scaffold envelope:\n{text}");
+    }
+
+    #[test]
+    fn empty_table_renders_a_hint_not_a_table() {
+        let text = render_stage_table(&StageTable::new());
+        assert!(text.starts_with("profile:"));
+        // The hint names the feature whenever this build lacks it.
+        if !netsim_types::profile::enabled() {
+            assert!(text.contains("hotpath-profile"));
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //! All types are plain data: cloneable, comparable, hashable and
 //! serde-serialisable, so they can flow through HAR files, NetLog events and
 //! report tables without conversion layers.
+//!
+//! The [`profile`] module is the one observability exception: feature-gated
+//! (`hotpath-profile`) wall-clock stage attribution for the visit fast path,
+//! compiled to nothing by default.
 
 pub mod domain;
 pub mod hash;
@@ -19,6 +23,7 @@ pub mod intern;
 pub mod ip;
 pub mod mitigation;
 pub mod origin;
+pub mod profile;
 pub mod rng;
 pub mod time;
 
@@ -29,5 +34,6 @@ pub use intern::{interned_domain_count, interned_domain_octets, DomainId};
 pub use ip::{IpAddr, Prefix};
 pub use mitigation::{Mitigation, MitigationSet};
 pub use origin::{Origin, OriginId, Scheme};
+pub use profile::{Stage, StageStats, StageTable};
 pub use rng::SimRng;
 pub use time::{Duration, Instant, SimClock};

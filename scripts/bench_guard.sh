@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench-regression guard: compare a fresh `connreuse-atlas --bench-json`
 # file against the committed baseline and fail on a large throughput
-# regression or a broken parallel executor.
+# regression, a broken parallel executor, or a blown per-stage budget.
 #
-#   scripts/bench_guard.sh [BASELINE_JSON] [FRESH_JSON]
+#   scripts/bench_guard.sh [BASELINE_JSON] [FRESH_JSON] [STAGE_BUDGETS] [STAGE_PROFILE]
 #
 # Defaults: BENCH_atlas.json (the committed baseline) vs
 # ci-artifacts/BENCH_atlas.json (what the CI atlas smoke step just wrote).
@@ -15,7 +15,7 @@
 #   serial   — the first record with threads == 1
 #   parallel — the record with the highest threads > 1 (if any)
 #
-# Three checks:
+# Three throughput checks plus the stage check:
 #
 #   1. Serial throughput: fresh serial sites/s must stay above
 #      BENCH_GUARD_MIN_RATIO (default 0.75, i.e. a >25 % regression fails)
@@ -30,6 +30,15 @@
 #      fresh run used (its `available_cores` field): >= 2 cores demand a
 #      real speedup (1.15); a single core only guards against pathological
 #      scheduler overhead (0.5).
+#   4. Per-stage budgets: when both the committed budget file (default
+#      BENCH_stages.json) and a fresh stage profile (default
+#      ci-artifacts/PROFILE_atlas.json, from `connreuse-atlas --profile-json`
+#      on a `--features hotpath-profile` build) exist, every budgeted
+#      stage's share of the measured total must stay under its `max_share`.
+#      A violation fails the guard *naming the stage*, so a regression says
+#      "dns-walk blew its budget" rather than just "the run got slower".
+#      Skipped with a note when the fresh profile is absent (feature-off
+#      builds record nothing).
 #
 # Override the floors for noisy environments:
 #   BENCH_GUARD_MIN_RATIO=0.5 BENCH_GUARD_MIN_SPEEDUP=1.0 scripts/bench_guard.sh
@@ -37,6 +46,8 @@ set -euo pipefail
 
 baseline="${1:-BENCH_atlas.json}"
 fresh="${2:-ci-artifacts/BENCH_atlas.json}"
+stage_budgets="${3:-BENCH_stages.json}"
+stage_profile="${4:-ci-artifacts/PROFILE_atlas.json}"
 min_ratio="${BENCH_GUARD_MIN_RATIO:-0.75}"
 min_speedup="${BENCH_GUARD_MIN_SPEEDUP:-}"
 
@@ -111,6 +122,69 @@ awk -v base="$base_serial" -v fresh="$fresh_serial" -v min="$min_ratio" 'BEGIN {
         exit 1
     }
 }'
+
+# Check 4: named per-stage budgets (runs here so its verdicts appear even
+# when the speedup check below exits early). Both inputs are flat JSON; the
+# same sed-split/awk idiom as extract_records pulls "stage" + max_share out
+# of the budget file and "stage" + share out of the fresh profile.
+extract_stage_pairs() {
+    local file="$1" field="$2"
+    sed -e 's/,/\n/g' -e 's/[{}]/\n/g' "$file" | awk -v field="$field" '
+        /"stage"[[:space:]]*:/ {
+            value = $0
+            sub(/.*"stage"[[:space:]]*:[[:space:]]*"/, "", value)
+            sub(/".*/, "", value)
+            stage = value
+        }
+        $0 ~ "\"" field "\"[[:space:]]*:" {
+            value = $0
+            sub(/.*"[[:space:]]*:[[:space:]]*/, "", value)
+            gsub(/[^0-9.eE+-]/, "", value)
+            if (stage != "") { print stage, value; stage = "" }
+        }'
+}
+
+if [ ! -f "$stage_budgets" ]; then
+    echo "bench guard: no stage budget file ($stage_budgets) — stage check skipped"
+elif [ ! -f "$stage_profile" ]; then
+    echo "bench guard: no fresh stage profile ($stage_profile) — stage check skipped"
+    echo "bench guard: (profiles come from 'connreuse-atlas --profile-json' on a --features hotpath-profile build)"
+else
+    budget_pairs=$(extract_stage_pairs "$stage_budgets" max_share)
+    share_pairs=$(extract_stage_pairs "$stage_profile" share)
+    if [ -z "$share_pairs" ]; then
+        echo "bench guard: $stage_profile carries no stage records — stage check skipped"
+    else
+        printf '%s\n%s\n' "BUDGETS" "$budget_pairs" > /tmp/bench_guard_stages.$$
+        printf '%s\n%s\n' "SHARES" "$share_pairs" >> /tmp/bench_guard_stages.$$
+        awk '
+            $1 == "BUDGETS" { section = "budget"; next }
+            $1 == "SHARES" { section = "share"; next }
+            NF == 2 && section == "budget" { budget[$1] = $2 }
+            NF == 2 && section == "share" { share[$1] = $2 }
+            END {
+                failed = 0
+                for (stage in budget) {
+                    if (!(stage in share)) {
+                        printf "bench guard: stage %-14s no fresh record (did not run) — skipped\n", stage
+                        continue
+                    }
+                    over = (share[stage] + 0 > budget[stage] + 0)
+                    printf "bench guard: stage %-14s share %5.1f%% (budget %5.1f%%)%s\n",
+                        stage, share[stage] * 100, budget[stage] * 100, over ? "  << OVER BUDGET" : ""
+                    if (over) failed = 1
+                }
+                if (failed) {
+                    print "bench guard: a stage blew its share budget — the named stage is where the time went"
+                    exit 1
+                }
+            }' /tmp/bench_guard_stages.$$ || status=$?
+        rm -f /tmp/bench_guard_stages.$$
+        if [ "${status:-0}" -ne 0 ]; then
+            exit "${status}"
+        fi
+    fi
+fi
 
 # Check 3: parallel speedup of the fresh run (skipped when the fresh file
 # was not produced with --bench-threads).
