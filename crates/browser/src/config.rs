@@ -6,6 +6,7 @@
 //! plus the one deliberate patch the authors apply for their second Alexa
 //! run, ignoring the Fetch credentials flag (`privacy_mode`).
 
+use crate::fault::{FaultProfile, RetryPolicy};
 use netsim_cost::LinkProfile;
 use netsim_dns::{ResolverId, Vantage};
 use netsim_h2::reuse::ReusePolicy;
@@ -71,6 +72,14 @@ pub struct BrowserConfig {
     /// Seconds of simulated spacing between consecutive site visits during a
     /// crawl (advances the global clock, which matters for time-varying DNS).
     pub visit_spacing_secs: u64,
+    /// Integer-ppm failure processes injected along the visit fast path. The
+    /// default is fully inert (all rates zero, no randomness consumed), which
+    /// reproduces the historical fault-free behaviour exactly.
+    pub faults: FaultProfile,
+    /// How the loader recovers from injected faults: bounded attempts,
+    /// exponential backoff with deterministic jitter, a per-resource stage
+    /// budget, and the optional hedged-dial mitigation.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BrowserConfig {
@@ -92,6 +101,8 @@ impl Default for BrowserConfig {
             resolver: ResolverId(1000),
             vantage: Vantage::Europe,
             visit_spacing_secs: 3,
+            faults: FaultProfile::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -222,6 +233,8 @@ mod tests {
     #[test]
     fn defaults_match_methodology() {
         let cfg = BrowserConfig::default();
+        assert!(cfg.faults.is_inert(), "measurement presets inject no faults");
+        assert!(!cfg.retry.hedged_dials);
         assert!(cfg.disable_quic);
         assert!(cfg.disable_field_trials);
         assert_eq!(cfg.page_timeout, Duration::from_secs(300));

@@ -29,6 +29,7 @@
 //! eviction-heavy run is as reproducible as an eviction-free one.
 
 use crate::config::ConnectionDurationModel;
+use crate::fault::FaultProfile;
 use netsim_h2::{CloseReason, Connection, ConnectionState};
 use netsim_types::{ConnectionId, Duration, Instant, Origin, SimRng};
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,9 @@ pub struct PoolLifecycleStats {
     pub capacity_evicted: u64,
     /// Connections still pooled when the session ended.
     pub session_closed: u64,
+    /// Parked connections that were dead when the session tried to lend them
+    /// (the fault model's dead-on-reuse process).
+    pub dead_on_reuse: u64,
 }
 
 impl PoolLifecycleStats {
@@ -80,11 +84,16 @@ impl PoolLifecycleStats {
         self.lifetime_churned += other.lifetime_churned;
         self.capacity_evicted += other.capacity_evicted;
         self.session_closed += other.session_closed;
+        self.dead_on_reuse += other.dead_on_reuse;
     }
 
     /// Every connection the pool closed, for any reason.
     pub fn closed(&self) -> u64 {
-        self.idle_expired + self.lifetime_churned + self.capacity_evicted + self.session_closed
+        self.idle_expired
+            + self.lifetime_churned
+            + self.capacity_evicted
+            + self.session_closed
+            + self.dead_on_reuse
     }
 }
 
@@ -173,10 +182,26 @@ impl ConnectionPool {
     /// timeout and the server lifetime at `now` into `connections` (the
     /// page's live set); close the rest and recycle them into `shells`.
     ///
+    /// Each surviving connection additionally rolls the fault model's
+    /// dead-on-reuse process (`faults.dead_on_reuse_ppm`, in insertion order,
+    /// off the visit's fault stream — a zero rate consumes no randomness):
+    /// a parked connection the server silently hung up on closes here
+    /// ([`netsim_h2::CloseReason::DeadOnReuse`]) instead of being lent, and
+    /// the page re-dials on first use. Returns how many connections died
+    /// this way so the loader can charge the visit timeline.
+    ///
     /// Must alternate with [`ConnectionPool::absorb`] — the pool keeps
     /// per-connection metadata aside while its connections are lent out.
-    pub fn lend(&mut self, now: Instant, connections: &mut Vec<Connection>, shells: &mut Vec<Connection>) {
+    pub fn lend(
+        &mut self,
+        now: Instant,
+        connections: &mut Vec<Connection>,
+        shells: &mut Vec<Connection>,
+        faults: &FaultProfile,
+        rng: &mut SimRng,
+    ) -> u64 {
         debug_assert!(self.lent.is_empty(), "lend/absorb must alternate");
+        let mut dead = 0;
         for mut entry in self.entries.drain(..) {
             if let Some(expires) = entry.expires_at.filter(|expires| *expires <= now) {
                 entry.connection.close_with_reason(expires, CloseReason::ServerLifetime);
@@ -186,6 +211,11 @@ impl ConnectionPool {
                 let closed_at = entry.last_used_at + self.config.idle_timeout;
                 entry.connection.close_with_reason(closed_at, CloseReason::IdleTimeout);
                 self.stats.idle_expired += 1;
+                shells.push(entry.connection);
+            } else if rng.chance_ppm(faults.dead_on_reuse_ppm) {
+                entry.connection.close_with_reason(now, CloseReason::DeadOnReuse);
+                self.stats.dead_on_reuse += 1;
+                dead += 1;
                 shells.push(entry.connection);
             } else {
                 self.stats.lent += 1;
@@ -198,6 +228,7 @@ impl ConnectionPool {
                 connections.push(entry.connection);
             }
         }
+        dead
     }
 
     /// End a page: drain the page's live set back into the pool. Newly
@@ -248,8 +279,14 @@ impl ConnectionPool {
                 .min_by_key(|(_, entry)| {
                     (entry.last_used_at, entry.connection.established_at, entry.connection.id)
                 })
-                .map(|(index, _)| index)
-                .expect("pool over capacity is non-empty");
+                .map(|(index, _)| index);
+            // `entries.len() > cap ≥ 0` means the pool is non-empty, so a
+            // victim always exists; stay total anyway — a broken invariant
+            // must never abort a crawl mid-run.
+            let Some(victim) = victim else {
+                debug_assert!(false, "pool over capacity is non-empty");
+                break;
+            };
             let mut entry = self.entries.remove(victim);
             entry.connection.close_with_reason(now, CloseReason::PoolCapacity);
             self.stats.capacity_evicted += 1;
@@ -405,7 +442,13 @@ mod tests {
         // …and closed (with the idle reason, at the timeout instant) on lend.
         let mut live = Vec::new();
         let mut shells = Vec::new();
-        pool.lend(Instant::from_millis(12_000), &mut live, &mut shells);
+        pool.lend(
+            Instant::from_millis(12_000),
+            &mut live,
+            &mut shells,
+            &FaultProfile::default(),
+            &mut SimRng::new(0),
+        );
         assert!(live.is_empty());
         assert_eq!(shells.len(), 1);
         assert_eq!(shells[0].close_reason, Some(CloseReason::IdleTimeout));
@@ -445,7 +488,13 @@ mod tests {
         // together with a fresh connection the page did open.
         let mut live = Vec::new();
         let mut shells = Vec::new();
-        pool.lend(Instant::from_millis(2_000), &mut live, &mut shells);
+        pool.lend(
+            Instant::from_millis(2_000),
+            &mut live,
+            &mut shells,
+            &FaultProfile::default(),
+            &mut SimRng::new(0),
+        );
         assert_eq!(live.len(), 1);
         live.push(connection(2, "b.example.com", 2_100));
         let mut rng = SimRng::new(7);
@@ -481,7 +530,13 @@ mod tests {
 
         // Far past any possible draw: the next lend tears it down.
         let mut live = Vec::new();
-        pool.lend(Instant::from_millis(30_000), &mut live, &mut shells);
+        pool.lend(
+            Instant::from_millis(30_000),
+            &mut live,
+            &mut shells,
+            &FaultProfile::default(),
+            &mut SimRng::new(0),
+        );
         assert!(live.is_empty());
         assert_eq!(shells.len(), 1);
         assert_eq!(shells[0].close_reason, Some(CloseReason::ServerLifetime));
@@ -512,19 +567,103 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_pools_evict_everything_without_panicking() {
+        // A malformed `PoolConfig` (cap 0) must degrade into "pool nothing",
+        // never abort the crawl: the eviction loop is total.
+        let config = PoolConfig { max_connections: 0, idle_timeout: Duration::from_secs(60) };
+        let mut pool = ConnectionPool::new(config);
+        let shells = absorb_fresh(
+            &mut pool,
+            Instant::from_millis(1_000),
+            vec![connection(1, "a.example.com", 0), connection(2, "b.example.com", 0)],
+        );
+        assert!(pool.is_empty());
+        assert_eq!(shells.len(), 2);
+        assert!(shells.iter().all(|s| s.close_reason == Some(CloseReason::PoolCapacity)));
+        assert_eq!(pool.stats().capacity_evicted, 2);
+    }
+
+    #[test]
+    fn probability_edges_of_the_lifetime_sampler_are_total() {
+        // Out-of-range and NaN close probabilities must never panic: chance()
+        // clamps, NaN compares false, and a zero median closes immediately.
+        let mut rng = SimRng::new(3);
+        for probability in [-1.0, 0.0, f64::NAN] {
+            let model = ConnectionDurationModel::IdleTimeouts {
+                close_probability: probability,
+                median_lifetime_secs: 122,
+            };
+            assert_eq!(sample_server_lifetime(&mut rng, &model, Instant::EPOCH), None, "{probability}");
+        }
+        let certain =
+            ConnectionDurationModel::IdleTimeouts { close_probability: 2.0, median_lifetime_secs: 0 };
+        assert_eq!(
+            sample_server_lifetime(&mut rng, &certain, Instant::EPOCH),
+            Some(Instant::EPOCH),
+            "a zero median closes at establishment"
+        );
+    }
+
+    #[test]
+    fn dead_on_reuse_closes_at_lend_and_reports_the_count() {
+        let mut pool = ConnectionPool::new(PoolConfig::default());
+        absorb_fresh(
+            &mut pool,
+            Instant::from_millis(1_000),
+            vec![connection(1, "a.example.com", 0), connection(2, "b.example.com", 0)],
+        );
+        let mut live = Vec::new();
+        let mut shells = Vec::new();
+        let faults = FaultProfile { dead_on_reuse_ppm: 1_000_000, ..Default::default() };
+        let dead =
+            pool.lend(Instant::from_millis(2_000), &mut live, &mut shells, &faults, &mut SimRng::new(5));
+        assert_eq!(dead, 2);
+        assert!(live.is_empty());
+        assert_eq!(shells.len(), 2);
+        assert!(shells.iter().all(|s| s.close_reason == Some(CloseReason::DeadOnReuse)));
+        assert!(shells.iter().all(|s| s.closed_at == Some(Instant::from_millis(2_000))));
+        let stats = pool.stats();
+        assert_eq!(stats.dead_on_reuse, 2);
+        assert_eq!(stats.lent, 0);
+        assert_eq!(stats.closed(), 2);
+    }
+
+    #[test]
+    fn inert_fault_profiles_consume_no_randomness_at_lend() {
+        let mut pool = ConnectionPool::new(PoolConfig::default());
+        absorb_fresh(&mut pool, Instant::from_millis(1_000), vec![connection(1, "a.example.com", 0)]);
+        let mut live = Vec::new();
+        let mut shells = Vec::new();
+        let mut rng = SimRng::new(11);
+        let mut probe = rng.clone();
+        let dead = pool.lend(
+            Instant::from_millis(2_000),
+            &mut live,
+            &mut shells,
+            &FaultProfile::default(),
+            &mut rng,
+        );
+        assert_eq!(dead, 0);
+        assert_eq!(live.len(), 1);
+        // The zero-rate draw left the stream untouched: byte-identical runs.
+        assert_eq!(rng.unit().to_bits(), probe.unit().to_bits());
+    }
+
+    #[test]
     fn stats_merge_is_a_component_sum() {
         let a = PoolLifecycleStats { inserted: 1, lent: 2, idle_expired: 3, ..Default::default() };
         let b = PoolLifecycleStats {
             lifetime_churned: 4,
             capacity_evicted: 5,
             session_closed: 6,
+            dead_on_reuse: 7,
             ..Default::default()
         };
         let mut merged = a;
         merged.merge(&b);
         assert_eq!(merged.inserted, 1);
         assert_eq!(merged.lent, 2);
-        assert_eq!(merged.closed(), 3 + 4 + 5 + 6);
+        assert_eq!(merged.closed(), 3 + 4 + 5 + 6 + 7);
         let mut reversed = b;
         reversed.merge(&a);
         assert_eq!(reversed, merged);

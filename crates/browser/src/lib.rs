@@ -33,6 +33,7 @@
 pub mod config;
 pub mod connpool;
 pub mod crawler;
+pub mod fault;
 pub mod loader;
 pub mod netlog;
 pub mod pool;
@@ -43,6 +44,7 @@ pub mod visit;
 pub use config::{BrowserConfig, ConnectionDurationModel};
 pub use connpool::{ConnectionPool, PoolConfig, PoolLifecycleStats};
 pub use crawler::{CrawlReport, Crawler};
+pub use fault::{FaultProfile, RetryPolicy, VisitOutcome};
 pub use loader::Browser;
 pub use netlog::{NetLog, NetLogEvent, NetLogEventKind};
 pub use pool::{PooledScratch, ScratchPool};

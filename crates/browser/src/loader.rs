@@ -10,7 +10,7 @@ use netsim_cost::loss_retransmit_extra_micros;
 use netsim_dns::{Authority, RecursiveResolver, ResolverConfig};
 use netsim_fetch::partition_for_planned;
 use netsim_h2::reuse::evaluate_set;
-use netsim_h2::{Connection, Settings};
+use netsim_h2::{CloseReason, Connection, ConnectionState, Settings};
 use netsim_types::profile::Stage;
 use netsim_types::stage;
 use netsim_types::{ConnectionId, Duration, IdAllocator, Instant, Origin, RequestId, SimClock, SimRng};
@@ -103,7 +103,12 @@ impl Browser {
             scratch.netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
         }
 
-        let finished_at = self.walk_plan(scratch, env, site, clock, started_at, None);
+        // The fault stream is a label fork of the visit rng: it derives from
+        // the stored seed (never the stream position), so the visit rng's own
+        // draw sequence — consumed only by the duration pass below — is
+        // untouched whether or not faults fire.
+        let mut fault_rng = rng.fork("fault");
+        let finished_at = self.walk_plan(scratch, env, site, clock, started_at, None, &mut fault_rng);
 
         // Assign connection end times according to the duration model, one
         // draw per connection through the shared sampler (the session pool's
@@ -165,13 +170,30 @@ impl Browser {
             scratch.netlog.record(started_at, NetLogEventKind::PageLoadStarted { domain: site.domain });
         }
 
-        let warm = {
+        // Per-page fault stream (see `load_page_into`); the pool's
+        // dead-on-reuse draws come first (insertion order), then the
+        // per-request draws of the plan walk.
+        let mut fault_rng = rng.fork("fault");
+        let (warm, dead) = {
             let (connections, shells) = scratch.connections_and_shells_mut();
-            session.pool_mut().lend(started_at, connections, shells);
-            connections.len()
+            let dead =
+                session.pool_mut().lend(started_at, connections, shells, &self.config.faults, &mut fault_rng);
+            (connections.len(), dead)
         };
+        if scratch.cost_enabled() {
+            scratch.timeline.dead_on_reuse += dead;
+            scratch.timeline.faults_injected += dead;
+        }
 
-        let finished_at = self.walk_plan(scratch, env, site, clock, started_at, Some(session.tickets_mut()));
+        let finished_at = self.walk_plan(
+            scratch,
+            env,
+            site,
+            clock,
+            started_at,
+            Some(session.tickets_mut()),
+            &mut fault_rng,
+        );
         let times = self.finish_page(scratch, started_at, finished_at, warm);
 
         let (connections, shells) = scratch.connections_and_shells_mut();
@@ -183,6 +205,7 @@ impl Browser {
     /// Walk the site's plan, fetching every planned request until the page
     /// timeout. Returns when the last response will have finished
     /// transferring.
+    #[allow(clippy::too_many_arguments)]
     fn walk_plan(
         &mut self,
         scratch: &mut VisitScratch,
@@ -191,6 +214,7 @@ impl Browser {
         clock: &mut SimClock,
         started_at: Instant,
         mut tickets: Option<&mut ResumptionCache>,
+        fault_rng: &mut SimRng,
     ) -> Instant {
         let deadline = started_at + self.config.page_timeout;
         let document_origin = Origin::https(site.domain);
@@ -209,6 +233,7 @@ impl Browser {
                 clock,
                 rtt,
                 tickets.as_deref_mut(),
+                fault_rng,
             );
             if let Some(entry) = outcome {
                 stage!(Stage::TransferClock);
@@ -254,10 +279,17 @@ impl Browser {
         VisitTimes { started_at, finished_at }
     }
 
-    /// Fetch a single planned request, reusing or opening connections.
-    /// `tickets` is the session's TLS ticket cache when the page belongs to a
-    /// multi-page session (`None` reproduces the cold single-visit
-    /// behaviour byte for byte).
+    /// Fetch a single planned request, reusing or opening connections, with
+    /// the retry policy wrapped around the injected-fault processes.
+    ///
+    /// The first attempt always runs; further attempts run only after an
+    /// *injected* fault (DNS, TLS dial, mid-transfer reset) failed the
+    /// previous one, each charged the policy's exponential backoff on the
+    /// virtual clock first. Genuine failures (an unresolvable name, a
+    /// refused stream) keep the historical silent-skip behaviour — they are
+    /// not retried and not counted as degraded. When attempts or the stage
+    /// budget run out, the resource is abandoned and counted in the visit's
+    /// [`crate::fault::VisitOutcome`].
     #[allow(clippy::too_many_arguments)]
     fn fetch_one(
         &mut self,
@@ -268,8 +300,70 @@ impl Browser {
         plan_index: usize,
         clock: &mut SimClock,
         rtt: Duration,
-        tickets: Option<&mut ResumptionCache>,
+        mut tickets: Option<&mut ResumptionCache>,
+        fault_rng: &mut SimRng,
     ) -> Option<ScratchRequest> {
+        let mut backoff_spent = Duration::ZERO;
+        for attempt in 1..=self.config.retry.attempts() {
+            if attempt > 1 {
+                let wait = self.config.retry.backoff_before(attempt, fault_rng);
+                if backoff_spent + wait > self.config.retry.stage_budget {
+                    // The stage budget is burst: give up on the resource
+                    // instead of waiting longer than the policy allows.
+                    break;
+                }
+                backoff_spent = backoff_spent + wait;
+                clock.advance(wait);
+                if scratch.cost_enabled() {
+                    scratch.timeline.retries += 1;
+                    scratch.timeline.retry_backoff_millis += wait.as_millis();
+                }
+            }
+            match self.fetch_attempt(
+                scratch,
+                env,
+                document_origin,
+                planned,
+                plan_index,
+                clock,
+                rtt,
+                tickets.as_deref_mut(),
+                fault_rng,
+            ) {
+                FetchAttempt::Success(entry) => return Some(entry),
+                FetchAttempt::Skip => return None,
+                FetchAttempt::Fault => {}
+            }
+        }
+        // Retries exhausted: degrade gracefully — the page renders without
+        // this resource, and the outcome records it.
+        scratch.failed_resources += 1;
+        if scratch.cost_enabled() {
+            scratch.timeline.failed_resources += 1;
+        }
+        None
+    }
+
+    /// One fetch attempt (the pre-fault fast path, plus the per-attempt
+    /// fault draws). Draw order on the fault stream, per attempt: the DNS
+    /// draw before the resolver runs; the TLS dial draw (plus the hedge draw
+    /// when hedged dials race and the primary failed) when no live session
+    /// qualified; the mid-transfer reset draw after the request is sent; the
+    /// GOAWAY draw after the response completes (skipped if the reset fired).
+    /// Zero-rate processes consume no randomness at all.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_attempt(
+        &mut self,
+        scratch: &mut VisitScratch,
+        env: &WebEnvironment,
+        document_origin: &Origin,
+        planned: &PlannedRequest,
+        plan_index: usize,
+        clock: &mut SimClock,
+        rtt: Duration,
+        tickets: Option<&mut ResumptionCache>,
+        fault_rng: &mut SimRng,
+    ) -> FetchAttempt {
         let target_origin = Origin::https(planned.domain);
         // The session-pool key ("privacy mode"): which partition the request
         // lands in. Policies that pool credentials still see the partition
@@ -304,15 +398,24 @@ impl Browser {
             stage!(Stage::DnsWalk);
             let netlog_enabled = scratch.netlog_enabled();
             let cost_enabled = scratch.cost_enabled();
+            // Injected SERVFAIL/lost-query: drawn before the resolver runs,
+            // so a faulted attempt performs no authority walk (and caches
+            // nothing) — exactly a query that never came back.
+            let injected = fault_rng.chance_ppm(self.config.faults.dns_failure_ppm);
             let resolver = scratch.resolver_mut();
             let stats_before = resolver.stats();
             // Extract what the rest of the visit needs while the answer
             // borrow is live; the address list is cloned only for NetLog.
-            let outcome = match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
-                Ok(answer) => {
-                    Ok((answer.primary_address(), netlog_enabled.then(|| answer.addresses.clone())))
+            let outcome = if injected {
+                resolver.note_injected_failure();
+                Err(true)
+            } else {
+                match resolver.resolve(&env.authority, &planned.domain, clock.now()) {
+                    Ok(answer) => {
+                        Ok((answer.primary_address(), netlog_enabled.then(|| answer.addresses.clone())))
+                    }
+                    Err(_) => Err(false),
                 }
-                Err(_) => Err(()),
             };
             let stats_after = resolver.stats();
             if cost_enabled {
@@ -321,6 +424,9 @@ impl Browser {
                 scratch.timeline.dns_authority_queries +=
                     stats_after.authority_queries - stats_before.authority_queries;
                 scratch.timeline.dns_failures += stats_after.failures - stats_before.failures;
+                if injected {
+                    scratch.timeline.faults_injected += 1;
+                }
             }
             match outcome {
                 Ok((target_ip, addresses)) => {
@@ -330,15 +436,20 @@ impl Browser {
                             NetLogEventKind::DnsResolved { domain: planned.domain, addresses },
                         );
                     }
-                    target_ip?
+                    match target_ip {
+                        Some(ip) => ip,
+                        None => return FetchAttempt::Skip,
+                    }
                 }
-                Err(()) => {
+                Err(was_injected) => {
                     if netlog_enabled {
                         scratch
                             .netlog
                             .record(clock.now(), NetLogEventKind::DnsFailed { domain: planned.domain });
                     }
-                    return None;
+                    // An injected failure retries; a genuinely unresolvable
+                    // name keeps the historical silent skip.
+                    return if was_injected { FetchAttempt::Fault } else { FetchAttempt::Skip };
                 }
             }
         };
@@ -402,10 +513,12 @@ impl Browser {
                         .unwrap_or_else(|| panic!("population has no certificate for {}", planned.domain)),
                 );
                 // A session that already shook hands with this origin holds a
-                // ticket and resumes; without a ticket cache the configured
-                // handshake applies unchanged.
+                // still-fresh ticket and resumes; without a ticket cache the
+                // configured handshake applies unchanged.
                 let handshake = match &tickets {
-                    Some(tickets) if tickets.has(&target_origin) => self.config.handshake.resumed(),
+                    Some(tickets) if tickets.has(&target_origin, clock.now()) => {
+                        self.config.handshake.resumed()
+                    }
                     _ => self.config.handshake,
                 };
                 let setup_rtts = u64::from(handshake.setup_rtts());
@@ -414,13 +527,42 @@ impl Browser {
                 // clock is charged each time the carry crosses another whole
                 // millisecond. Rounding therefore happens once per visit —
                 // truncating per connection let every sub-millisecond setup
-                // penalty (all of broadband's) ride for free.
+                // penalty (all of broadband's) ride for free. A dial that
+                // fails below still travelled its round trips, so the carry
+                // advances either way.
                 let loss_micros = loss_retransmit_extra_micros(rtt, setup_rtts, self.config.loss_ppm);
                 let charged_ms = scratch.loss_carry_micros / 1_000;
                 scratch.loss_carry_micros += loss_micros;
                 let loss_ms = scratch.loss_carry_micros / 1_000 - charged_ms;
                 let setup = handshake.setup_latency(rtt) + Duration::from_millis(loss_ms);
                 clock.advance(setup);
+                // Injected TLS dial failure. Under hedged dials a second
+                // attempt races the first (drawn only when the primary
+                // failed): the dial fails only if both racers fail, and it
+                // pays no retry backoff — the hedge was already in flight.
+                let hedged = self.config.retry.hedged_dials;
+                let primary_failed = fault_rng.chance_ppm(self.config.faults.tls_failure_ppm);
+                let dial_failed = if hedged && primary_failed {
+                    fault_rng.chance_ppm(self.config.faults.tls_failure_ppm)
+                } else {
+                    primary_failed
+                };
+                if dial_failed {
+                    // The dial burned its full setup latency (charged above)
+                    // but only the client's first flight made it to the wire.
+                    if scratch.cost_enabled() {
+                        scratch.timeline.faults_injected += 1;
+                        scratch.timeline.handshake_rtts += setup_rtts;
+                        scratch.timeline.handshake_millis += setup.as_millis();
+                        scratch.timeline.loss_retransmit_micros += loss_micros;
+                        scratch.timeline.handshake_octets += handshake.aborted_handshake_octets();
+                        if hedged {
+                            scratch.timeline.hedged_dials += 1;
+                            scratch.timeline.handshake_octets += handshake.aborted_handshake_octets();
+                        }
+                    }
+                    return FetchAttempt::Fault;
+                }
                 if scratch.cost_enabled() {
                     scratch.timeline.connections_opened += 1;
                     scratch.timeline.handshake_rtts += setup_rtts;
@@ -430,11 +572,17 @@ impl Browser {
                     if handshake.session_resumption {
                         scratch.timeline.resumed_handshakes += 1;
                     }
+                    if hedged {
+                        // The losing racer completed (or aborted) its own
+                        // handshake on the wire before being discarded.
+                        scratch.timeline.hedged_dials += 1;
+                        scratch.timeline.handshake_octets += handshake.handshake_octets();
+                    }
                 }
                 // Every completed handshake (full or resumed) mints a fresh
                 // ticket for the origin.
                 if let Some(tickets) = tickets {
-                    tickets.insert(target_origin);
+                    tickets.insert(target_origin, clock.now());
                 }
                 let id: ConnectionId = self.connection_ids.issue_as();
                 let mut connection = match scratch.take_shell() {
@@ -485,19 +633,47 @@ impl Browser {
         let connection = &mut scratch.connections[index];
         let stream = match connection.send_request(&planned.domain, &planned.path, cookie) {
             Ok(stream) => stream,
-            Err(_) => return None,
+            Err(_) => return FetchAttempt::Skip,
         };
+        // Injected mid-transfer reset: the request went out but the transport
+        // died before the response completed. The connection is torn down —
+        // the retry (if any) must redial — and the attempt fails.
+        if fault_rng.chance_ppm(self.config.faults.reset_ppm) {
+            let connection_id = connection.id;
+            connection.close_with_reason(clock.now(), CloseReason::TransportReset);
+            drop(encode_guard);
+            if scratch.cost_enabled() {
+                scratch.timeline.faults_injected += 1;
+            }
+            if scratch.netlog_enabled() {
+                scratch
+                    .netlog
+                    .record(clock.now(), NetLogEventKind::ConnectionClosed { connection: connection_id });
+            }
+            return FetchAttempt::Fault;
+        }
         let status = 200;
         connection
             .complete_response(stream, &planned.domain, status, planned.body_size)
             .expect("stream was just opened");
+        let connection_id = connection.id;
+        // Injected server GOAWAY: the response that just completed was the
+        // connection's last — the server is draining it. The request
+        // succeeds; the session merely stops accepting new streams, so later
+        // requests fall through to other sessions or fresh dials.
+        if fault_rng.chance_ppm(self.config.faults.goaway_ppm) && connection.state == ConnectionState::Open {
+            connection.receive_goaway();
+            if scratch.cost_enabled() {
+                scratch.timeline.faults_injected += 1;
+                scratch.timeline.goaways_received += 1;
+            }
+        }
         drop(encode_guard);
         if status != 200 {
             scratch.any_non_ok = true;
         }
 
         let request_id: RequestId = self.request_ids.issue_as();
-        let connection_id = connection.id;
         if scratch.netlog_enabled() {
             scratch.netlog.record(
                 clock.now(),
@@ -518,7 +694,7 @@ impl Browser {
             );
         }
 
-        Some(ScratchRequest {
+        FetchAttempt::Success(ScratchRequest {
             id: request_id,
             connection: connection_id,
             domain: planned.domain,
@@ -530,6 +706,16 @@ impl Browser {
             started_at: clock.now(),
         })
     }
+}
+
+/// How one fetch attempt ended: a logged request, a permanent silent skip
+/// (the historical non-fault failure modes — unresolvable name, addressless
+/// answer, refused stream), or an injected fault the retry policy may spend
+/// another attempt on.
+enum FetchAttempt {
+    Success(ScratchRequest),
+    Skip,
+    Fault,
 }
 
 /// Transfer-time model: body size over configured bandwidth, charged in

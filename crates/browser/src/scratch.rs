@@ -28,6 +28,7 @@
 //! **zero heap allocations** — asserted by a counting-allocator test in
 //! `crates/browser/tests/zero_alloc.rs`.
 
+use crate::fault::VisitOutcome;
 use crate::netlog::NetLog;
 use crate::visit::{PageVisit, RequestLogEntry};
 use netsim_cost::VisitTimeline;
@@ -103,6 +104,11 @@ pub struct VisitScratch {
     /// connection (the free-ride fix). Lives outside the `cost_enabled` gate:
     /// the clock must advance identically whether or not a timeline is kept.
     pub(crate) loss_carry_micros: u64,
+    /// Resources the current visit abandoned after exhausting their retry
+    /// budget. Like the loss carry this lives outside the `cost_enabled`
+    /// gate: the visit's [`VisitOutcome`] must not depend on whether a
+    /// timeline is kept.
+    pub(crate) failed_resources: u64,
 }
 
 impl VisitScratch {
@@ -156,6 +162,7 @@ impl VisitScratch {
         self.any_non_ok = false;
         self.timeline.reset();
         self.loss_carry_micros = 0;
+        self.failed_resources = 0;
         let rebuild = match &self.resolver {
             Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
             None => true,
@@ -190,6 +197,7 @@ impl VisitScratch {
         self.any_non_ok = false;
         self.timeline.reset();
         self.loss_carry_micros = 0;
+        self.failed_resources = 0;
         let rebuild = match &self.resolver {
             Some(existing) => existing.config().id != resolver || existing.config().vantage != vantage,
             None => true,
@@ -254,6 +262,15 @@ impl VisitScratch {
     /// `true` if every response of the current visit had status 200.
     pub fn all_ok(&self) -> bool {
         !self.any_non_ok
+    }
+
+    /// How the current visit ended: [`VisitOutcome::Complete`] when every
+    /// resource was fetched (possibly after retries),
+    /// [`VisitOutcome::Degraded`] with the abandoned-resource count when the
+    /// retry budget ran out somewhere. Valid independently of cost
+    /// accounting.
+    pub fn outcome(&self) -> VisitOutcome {
+        VisitOutcome::from_failures(self.failed_resources)
     }
 
     /// Materialise the current scratch state into an owned [`PageVisit`] —

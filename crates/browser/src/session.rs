@@ -18,42 +18,87 @@
 
 use crate::connpool::{ConnectionPool, PoolConfig, PoolLifecycleStats};
 use crate::scratch::VisitScratch;
-use netsim_types::{Instant, Origin};
+use netsim_types::{Duration, Instant, Origin};
+
+/// One held TLS session ticket: the origin it resumes against and when it
+/// was minted (re-minted on every later full-price handshake).
+#[derive(Clone, Copy, Debug)]
+struct Ticket {
+    origin: Origin,
+    minted_at: Instant,
+}
 
 /// The TLS session tickets a user agent holds, keyed by origin. Linear scan
 /// over a small `Vec` — a session touches tens of origins, and the flat
 /// layout keeps lookups allocation-free.
+///
+/// The cache is bounded on two axes so a week-long session never resumes
+/// against arbitrarily stale state:
+///
+/// * **Ticket lifetime** — a ticket older than
+///   [`ResumptionCache::TICKET_LIFETIME`] (RFC 8446 caps ticket lifetimes at
+///   seven days; servers commonly issue far shorter ones) no longer matches
+///   in [`ResumptionCache::has`]; the next handshake runs at full price and
+///   re-mints it.
+/// * **Capacity** — at most [`ResumptionCache::MAX_TICKETS`] origins are
+///   held; inserting beyond that evicts the stalest ticket (oldest
+///   `minted_at`, LRU-style, with the insertion-order index as the
+///   deterministic tie-break).
 #[derive(Clone, Debug, Default)]
 pub struct ResumptionCache {
-    origins: Vec<Origin>,
+    tickets: Vec<Ticket>,
 }
 
 impl ResumptionCache {
-    /// `true` if a ticket for `origin` is held.
-    pub fn has(&self, origin: &Origin) -> bool {
-        self.origins.contains(origin)
+    /// How long a minted ticket stays usable.
+    pub const TICKET_LIFETIME: Duration = Duration::from_hours(2);
+    /// Upper bound on held tickets (Chromium's SSL session cache keeps a
+    /// kilo-entry scale total; per session a much smaller bound suffices).
+    pub const MAX_TICKETS: usize = 256;
+
+    /// `true` if a still-fresh ticket for `origin` is held at `now`.
+    pub fn has(&self, origin: &Origin, now: Instant) -> bool {
+        self.tickets
+            .iter()
+            .any(|ticket| ticket.origin == *origin && now.since(ticket.minted_at) <= Self::TICKET_LIFETIME)
     }
 
-    /// Record a ticket for `origin` (every completed handshake mints one).
-    pub fn insert(&mut self, origin: Origin) {
-        if !self.has(&origin) {
-            self.origins.push(origin);
+    /// Record a ticket for `origin` minted at `now` (every completed
+    /// full-price handshake mints one; re-handshaking refreshes the mint
+    /// time). Over capacity, the stalest ticket is evicted.
+    pub fn insert(&mut self, origin: Origin, now: Instant) {
+        if let Some(existing) = self.tickets.iter_mut().find(|ticket| ticket.origin == origin) {
+            existing.minted_at = now;
+            return;
         }
+        if self.tickets.len() >= Self::MAX_TICKETS {
+            if let Some(stalest) = self
+                .tickets
+                .iter()
+                .enumerate()
+                .min_by_key(|(index, ticket)| (ticket.minted_at, *index))
+                .map(|(index, _)| index)
+            {
+                self.tickets.swap_remove(stalest);
+            }
+        }
+        self.tickets.push(Ticket { origin, minted_at: now });
     }
 
-    /// Number of origins with a ticket.
+    /// Number of origins with a ticket (fresh or not; expired tickets are
+    /// only skipped at lookup, not swept).
     pub fn len(&self) -> usize {
-        self.origins.len()
+        self.tickets.len()
     }
 
     /// `true` if no tickets are held.
     pub fn is_empty(&self) -> bool {
-        self.origins.is_empty()
+        self.tickets.is_empty()
     }
 
     /// Forget every ticket (capacity retained).
     pub fn clear(&mut self) {
-        self.origins.clear();
+        self.tickets.clear();
     }
 }
 
@@ -133,20 +178,59 @@ mod tests {
     fn ticket_cache_deduplicates_origins() {
         let mut cache = ResumptionCache::default();
         let origin = Origin::https(DomainName::literal("www.example.com"));
+        let now = Instant::from_millis(1_000);
         assert!(cache.is_empty());
-        assert!(!cache.has(&origin));
-        cache.insert(origin);
-        cache.insert(origin);
+        assert!(!cache.has(&origin, now));
+        cache.insert(origin, now);
+        cache.insert(origin, now);
         assert_eq!(cache.len(), 1);
-        assert!(cache.has(&origin));
+        assert!(cache.has(&origin, now));
         cache.clear();
         assert!(cache.is_empty());
     }
 
     #[test]
+    fn tickets_expire_after_their_lifetime_and_reminting_refreshes() {
+        let mut cache = ResumptionCache::default();
+        let origin = Origin::https(DomainName::literal("www.example.com"));
+        let minted = Instant::from_millis(0);
+        cache.insert(origin, minted);
+        let within = minted + ResumptionCache::TICKET_LIFETIME;
+        assert!(cache.has(&origin, within), "lifetime boundary is inclusive");
+        let past = within + Duration::from_millis(1);
+        assert!(!cache.has(&origin, past), "stale tickets no longer resume");
+        assert_eq!(cache.len(), 1, "expired tickets are skipped, not swept");
+        // A later full-price handshake re-mints the ticket in place.
+        cache.insert(origin, past);
+        assert!(cache.has(&origin, past + Duration::from_hours(1)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_the_stalest_ticket() {
+        let mut cache = ResumptionCache::default();
+        // Fill to capacity with strictly increasing mint times.
+        for index in 0..ResumptionCache::MAX_TICKETS {
+            let origin = Origin::https(DomainName::literal(&format!("origin-{index}.example.com")));
+            cache.insert(origin, Instant::from_millis(index as u64));
+        }
+        assert_eq!(cache.len(), ResumptionCache::MAX_TICKETS);
+        // One more evicts the stalest (origin-0), not the newest.
+        let newcomer = Origin::https(DomainName::literal("newcomer.example.com"));
+        let now = Instant::from_millis(10_000);
+        cache.insert(newcomer, now);
+        assert_eq!(cache.len(), ResumptionCache::MAX_TICKETS);
+        assert!(cache.has(&newcomer, now));
+        assert!(!cache.has(&Origin::https(DomainName::literal("origin-0.example.com")), now));
+        assert!(cache.has(&Origin::https(DomainName::literal("origin-1.example.com")), now));
+    }
+
+    #[test]
     fn ending_a_session_resets_its_warm_state() {
         let mut session = UserSession::new(PoolConfig::default());
-        session.tickets_mut().insert(Origin::https(DomainName::literal("www.example.com")));
+        session
+            .tickets_mut()
+            .insert(Origin::https(DomainName::literal("www.example.com")), Instant::from_millis(500));
         session.note_page_loaded();
         assert_eq!(session.pages_loaded(), 1);
         assert_eq!(session.ticket_count(), 1);

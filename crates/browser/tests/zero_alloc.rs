@@ -216,6 +216,61 @@ fn warm_session_pages_keep_the_zero_allocation_guarantee() {
     assert!(stats.inserted > 0);
 }
 
+#[test]
+fn faulted_visits_keep_the_zero_allocation_guarantee() {
+    // The fault-injection and retry layer must ride the fast path for free:
+    // with every failure process at a visibly nonzero rate — so DNS faults,
+    // failed dials, mid-transfer resets, dead pooled connections, GOAWAYs,
+    // backoff waits and abandoned resources all actually happen — a
+    // steady-state pass of warm sessions still allocates exactly nothing.
+    use netsim_browser::FaultProfile;
+
+    let env = PopulationBuilder::new(PopulationProfile::alexa(), 24, 77).build();
+    let config =
+        BrowserConfig { faults: FaultProfile::uniform(50_000), ..BrowserConfig::alexa_measurement() };
+    let mut scratch = VisitScratch::without_netlog();
+    let mut session = UserSession::new(PoolConfig::default());
+
+    // Faults perturb which recycled shell lands on which connection, so the
+    // rotation takes longer than the fault-free loops to cycle every shell
+    // through the high-water-mark connection — a generous bound, same
+    // converge-or-fail contract as the main gate.
+    const MAX_WARMUP_PASSES: usize = 32;
+    let mut converged = false;
+    for _ in 0..MAX_WARMUP_PASSES {
+        let allocations = allocations_in(|| {
+            let _ = run_warm_sessions(&env, &config, &mut scratch, &mut session);
+        });
+        if allocations == 0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "faulted session loop still allocating after {MAX_WARMUP_PASSES} full passes");
+
+    let mut totals = netsim_cost::CostTotals::new();
+    let allocations = allocations_in(|| {
+        for s in 0..6u64 {
+            let mut browser = Browser::with_id_base(config.clone(), s * 1_000_000);
+            let mut clock = SimClock::starting_at(Instant::EPOCH + Duration::from_secs(600 * s));
+            let mut rng = SimRng::new(5).fork_indexed("alloc-session", s);
+            for page in 0..4u64 {
+                let site = &env.sites[((s * 4 + page) * 3) as usize % env.sites.len()];
+                browser.load_session_page_into(&mut scratch, &mut session, &env, site, &mut clock, &mut rng);
+                totals.absorb_visit(scratch.timeline());
+                clock.advance(Duration::from_secs(30));
+            }
+            session.end(&mut scratch, clock.now());
+        }
+    });
+    assert_eq!(allocations, 0, "fault injection and retries must not allocate: {allocations} allocations");
+    // The zero cannot be explained by the fault layer having been inert: at
+    // 5% per process across hundreds of requests, faults and retries fired.
+    assert!(totals.sums.faults_injected > 0, "no faults fired: {:?}", totals.sums);
+    assert!(totals.sums.retries > 0, "no retries happened: {:?}", totals.sums);
+    assert!(totals.sums.retry_backoff_millis > 0, "retries charged no backoff: {:?}", totals.sums);
+}
+
 #[cfg(feature = "hotpath-profile")]
 #[test]
 fn profiled_visits_keep_the_zero_allocation_guarantee() {

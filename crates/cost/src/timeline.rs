@@ -64,6 +64,26 @@ pub struct VisitTimeline {
     /// Page-load time of the visit (first request to last response), in
     /// milliseconds of simulated time.
     pub plt_millis: u64,
+    /// Faults the injection layer fired during the visit, over every process
+    /// (DNS, TLS, reset, dead-on-reuse, GOAWAY).
+    pub faults_injected: u64,
+    /// Extra fetch attempts the retry policy spent recovering from faults
+    /// (the first attempt of each resource is not counted).
+    pub retries: u64,
+    /// Milliseconds the simulated clock charged for retry backoff waits
+    /// (exponential schedule plus deterministic jitter).
+    pub retry_backoff_millis: u64,
+    /// Resources abandoned after exhausting their retry budget — the
+    /// degraded remainder a `VisitOutcome::Degraded` reports.
+    pub failed_resources: u64,
+    /// Server GOAWAY frames received mid-page (the connection finished its
+    /// in-flight streams but accepted no new ones).
+    pub goaways_received: u64,
+    /// Pooled connections that turned out dead when the session lent them.
+    pub dead_on_reuse: u64,
+    /// Redundant connection dials raced by the hedged-request mitigation;
+    /// each charged a second handshake's octets.
+    pub hedged_dials: u64,
 }
 
 impl VisitTimeline {
@@ -91,6 +111,13 @@ impl VisitTimeline {
         self.requests += other.requests;
         self.body_octets += other.body_octets;
         self.plt_millis += other.plt_millis;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.retry_backoff_millis += other.retry_backoff_millis;
+        self.failed_resources += other.failed_resources;
+        self.goaways_received += other.goaways_received;
+        self.dead_on_reuse += other.dead_on_reuse;
+        self.hedged_dials += other.hedged_dials;
     }
 
     /// Total round trips attributable to connection setup: handshakes plus
@@ -131,6 +158,13 @@ mod tests {
             requests: 12 * scale,
             body_octets: 100_000 * scale,
             plt_millis: 800 * scale,
+            faults_injected: 5 * scale,
+            retries: 4 * scale,
+            retry_backoff_millis: 700 * scale,
+            failed_resources: scale,
+            goaways_received: 2 * scale,
+            dead_on_reuse: 3 * scale,
+            hedged_dials: 8 * scale,
         }
     }
 

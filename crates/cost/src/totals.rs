@@ -98,6 +98,13 @@ mod tests {
             requests: 9 * scale,
             body_octets: 50_000 * scale,
             plt_millis: 700 * scale,
+            faults_injected: 7 * scale,
+            retries: 2 * scale,
+            retry_backoff_millis: 300 * scale,
+            failed_resources: scale,
+            goaways_received: scale,
+            dead_on_reuse: scale,
+            hedged_dials: 0,
         }
     }
 

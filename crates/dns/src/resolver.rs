@@ -138,6 +138,17 @@ impl RecursiveResolver {
         self.cache.len()
     }
 
+    /// Record a resolution failure injected by a fault model (a simulated
+    /// SERVFAIL / lost query drawn *outside* the resolver, before any
+    /// authority walk runs). Counts as a cache miss that failed, so
+    /// [`RecursiveResolver::stats`] stays the single source of truth for the
+    /// visit fast path's DNS accounting: nothing is cached and no authority
+    /// queries are charged — the failure happened on the way there.
+    pub fn note_injected_failure(&mut self) {
+        self.stats.cache_misses += 1;
+        self.stats.failures += 1;
+    }
+
     /// Drop every cached answer (the measurement methodology resets caches
     /// between site visits). The answers' buffers are recycled into an
     /// internal pool so subsequent resolutions reuse them.
@@ -369,6 +380,19 @@ mod tests {
             Err(ResolutionError::CnameLoop(d("a.example.com")))
         );
         assert_eq!(r.stats().failures, 2);
+    }
+
+    #[test]
+    fn injected_failures_count_as_failed_misses_without_authority_traffic() {
+        let mut r = resolver();
+        r.note_injected_failure();
+        r.note_injected_failure();
+        let stats = r.stats();
+        assert_eq!(stats.failures, 2);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.authority_queries, 0);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(r.cache_len(), 0);
     }
 
     #[test]

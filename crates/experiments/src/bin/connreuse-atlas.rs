@@ -168,6 +168,8 @@ fn print_usage() {
     println!("               --features hotpath-profile to record anything)");
     println!("  --profile-json [FILE]  also write the stage table as JSON (default");
     println!("               {PROFILE_JSON_PATH}; implies --profile)");
+    println!();
+    println!("exit status: 0 on success, 1 on determinism-check/IO failure, 2 on bad arguments");
 }
 
 fn main() {

@@ -1,27 +1,28 @@
-//! `connreuse-fleet` — multi-page user sessions over the connection-pool
-//! lifecycle: the warm-vs-cold redundancy tax per deployment and pool policy.
+//! `connreuse-chaos` — deterministic fault injection over warm session
+//! traffic: failure levels × mitigation deployments × link profiles, plus
+//! the hedged-dial mitigation.
 //!
 //! ```text
-//! cargo run -p connreuse-experiments --bin connreuse-fleet --release
-//! cargo run -p connreuse-experiments --bin connreuse-fleet --release -- --quick
-//! cargo run -p connreuse-experiments --bin connreuse-fleet --release -- \
-//!     --sites 4000 --sessions 800 --seed 7 --threads 8 --out results/fleet.txt
-//! cargo run -p connreuse-experiments --bin connreuse-fleet --release -- \
+//! cargo run -p connreuse-experiments --bin connreuse-chaos --release
+//! cargo run -p connreuse-experiments --bin connreuse-chaos --release -- --quick
+//! cargo run -p connreuse-experiments --bin connreuse-chaos --release -- \
+//!     --sites 4000 --sessions 200 --seed 7 --threads 8 --out results/chaos.txt
+//! cargo run -p connreuse-experiments --bin connreuse-chaos --release -- \
 //!     --quick --check-threads 1,2
 //! ```
 
-use connreuse_experiments::fleet::{run_fleet, FleetConfig};
+use connreuse_experiments::chaos::{run_chaos, ChaosConfig};
 use std::path::PathBuf;
 
 struct CliOptions {
-    config: FleetConfig,
+    config: ChaosConfig,
     out: Option<PathBuf>,
     check_threads: Vec<usize>,
     help: bool,
 }
 
 fn parse_args() -> Result<CliOptions, String> {
-    let mut config = FleetConfig::default();
+    let mut config = ChaosConfig::default();
     let mut out = None;
     let mut check_threads = Vec::new();
     let mut help = false;
@@ -33,7 +34,7 @@ fn parse_args() -> Result<CliOptions, String> {
             "--seed" => config.seed = parse_value(&mut args, &arg)?,
             "--threads" => config.threads = parse_value(&mut args, &arg)?,
             "--quick" => {
-                let quick = FleetConfig::quick();
+                let quick = ChaosConfig::quick();
                 config.sites = quick.sites;
                 config.sessions = quick.sessions;
             }
@@ -68,16 +69,16 @@ fn parse_value<T: std::str::FromStr>(
 }
 
 fn print_usage() {
-    println!("connreuse-fleet — user sessions over the connection-pool lifecycle");
+    println!("connreuse-chaos — fault injection over warm session traffic");
     println!();
-    println!("usage: connreuse-fleet [options]");
+    println!("usage: connreuse-chaos [options]");
     println!();
     println!("options:");
     println!("  --sites N            sites per cell population (default 1500)");
-    println!("  --sessions N         user sessions per cell (default sites/5)");
+    println!("  --sessions N         user sessions per cell (default sites/15)");
     println!("  --seed N             root seed shared by every cell (default 20210420)");
-    println!("  --threads N          worker threads the cells shard across");
-    println!("  --quick              use the small test-sized run (60 sites, 40 sessions)");
+    println!("  --threads N          worker threads the mitigation combos shard across");
+    println!("  --quick              use the small test-sized run (40 sites, 10 sessions)");
     println!("  --check-threads A,B  run at each thread count and assert byte-identical reports");
     println!("  --out FILE           also write the report to FILE");
     println!();
@@ -98,15 +99,15 @@ fn main() {
         return;
     }
 
-    // Determinism check: the same fleet sharded over different thread counts
+    // Determinism check: the same grid sharded over different thread counts
     // must render byte-identically (the shard-merge contract).
     if !options.check_threads.is_empty() {
         let mut reference: Option<(usize, String)> = None;
         for &threads in &options.check_threads {
-            let config = FleetConfig { threads, ..options.config };
+            let config = ChaosConfig { threads, ..options.config };
             let start = std::time::Instant::now();
-            let text = run_fleet(&config).render();
-            eprintln!("threads={threads}: fleet done in {:.1}s", start.elapsed().as_secs_f64());
+            let text = run_chaos(&config).render();
+            eprintln!("threads={threads}: chaos done in {:.1}s", start.elapsed().as_secs_f64());
             match &reference {
                 None => reference = Some((threads, text)),
                 Some((base, expected)) => {
@@ -123,12 +124,12 @@ fn main() {
     }
 
     eprintln!(
-        "driving {} sessions per cell over {} sites: seed={} threads={}",
+        "injecting faults into {} sessions per cell over {} sites: seed={} threads={}",
         options.config.sessions, options.config.sites, options.config.seed, options.config.threads
     );
     let start = std::time::Instant::now();
-    let report = run_fleet(&options.config);
-    eprintln!("fleet done in {:.1}s", start.elapsed().as_secs_f64());
+    let report = run_chaos(&options.config);
+    eprintln!("chaos done in {:.1}s", start.elapsed().as_secs_f64());
 
     let text = report.render();
     println!("{text}");

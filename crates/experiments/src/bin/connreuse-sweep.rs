@@ -58,6 +58,8 @@ fn print_usage() {
     println!("  --threads N  worker threads the 16 cells shard across");
     println!("  --quick      use the small test-sized population (120 sites)");
     println!("  --out FILE   also write the report to FILE");
+    println!();
+    println!("exit status: 0 on success, 1 on IO failure, 2 on bad arguments");
 }
 
 fn main() {

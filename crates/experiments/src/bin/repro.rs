@@ -74,6 +74,8 @@ fn print_usage() {
     println!("  --threads N         crawl worker threads (default: available parallelism)");
     println!("  --quick             use the small test-sized populations");
     println!("  --out DIR           also write each experiment's report to DIR/<name>.txt");
+    println!();
+    println!("exit status: 0 on success, 1 on experiment/IO failure, 2 on bad arguments");
 }
 
 fn main() {

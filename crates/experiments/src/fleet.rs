@@ -176,8 +176,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
 
 /// Pick the next page of a session: revisit a page already seen with
 /// probability [`REVISIT_PROBABILITY`], otherwise navigate somewhere new.
-/// Consumes the same RNG draws in every cell (the trace is cell-invariant).
-fn choose_site(rng: &mut SimRng, visited: &[usize], sites: usize) -> usize {
+/// Consumes the same RNG draws in every cell (the trace is cell-invariant;
+/// the chaos grid shares this navigation model).
+pub(crate) fn choose_site(rng: &mut SimRng, visited: &[usize], sites: usize) -> usize {
     if !visited.is_empty() && rng.chance(REVISIT_PROBABILITY) {
         *rng.pick(visited).expect("visited is non-empty")
     } else {

@@ -26,6 +26,7 @@
 //! | `cost`     | the mitigation matrix priced in RTTs/bytes/PLT under three link profiles |
 //! | `atlas`    | the paper-scale population scenario (100 k–1 M sites, work-stealing execution, streaming aggregation) |
 //! | `fleet`    | multi-page user sessions over a first-class connection-pool lifecycle (warm vs. cold redundancy tax) |
+//! | `chaos`    | deterministic fault injection over the warm session trace (failure levels × deployments × links, plus hedged dials) |
 //!
 //! The [`atlas`] module is the scale engine: it fans fixed site chunks over
 //! the work-stealing executor (`connreuse_executor`), one pooled
@@ -47,6 +48,7 @@
 //! [`VisitScratch`]: ../netsim_browser/struct.VisitScratch.html
 
 pub mod atlas;
+pub mod chaos;
 pub mod cost;
 pub mod fleet;
 pub mod paper;
@@ -57,6 +59,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use atlas::{run_atlas, run_atlas_partitioned, AtlasConfig, AtlasMetrics, AtlasReport, BenchFile};
+pub use chaos::{run_chaos, ChaosCell, ChaosConfig, ChaosReport};
 pub use cost::{run_cost, CostCell, CostConfig, CostReport};
 pub use fleet::{run_fleet, FleetCell, FleetConfig, FleetReport};
 pub use profile::{render_stage_table, ProfileFile, ProfileRecord};

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
     "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "cost", "atlas",
-    "fleet",
+    "fleet", "chaos",
 ];
 
 /// The rendered result of one experiment.
@@ -60,6 +60,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "cost" => cost(scenario),
         "atlas" => atlas(scenario),
         "fleet" => fleet(scenario),
+        "chaos" => chaos(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
     Ok(ExperimentOutput { name: name.to_string(), text })
@@ -686,6 +687,14 @@ fn atlas(scenario: &Scenario) -> String {
 /// to amortise it — versus the paper's cold single-visit methodology.
 fn fleet(scenario: &Scenario) -> String {
     crate::fleet::run_fleet(&crate::fleet::FleetConfig::from_scenario(&scenario.config)).render()
+}
+
+/// Deterministic fault injection over the fleet's warm session trace (see
+/// [`crate::chaos`] for the engine): what faults cost each deployment at
+/// each failure level and link, and what bounded retries, backoff and
+/// hedged dials buy back.
+fn chaos(scenario: &Scenario) -> String {
+    crate::chaos::run_chaos(&crate::chaos::ChaosConfig::from_scenario(&scenario.config)).render()
 }
 
 #[cfg(test)]

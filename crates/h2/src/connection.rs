@@ -43,6 +43,12 @@ pub enum CloseReason {
     ServerLifetime,
     /// The user session ended and drained its pool.
     SessionEnd,
+    /// The transport was reset mid-transfer (injected fault); the request in
+    /// flight failed and was retried on a fresh connection.
+    TransportReset,
+    /// A pooled connection turned out to be dead when the session tried to
+    /// reuse it (the server hung up while it was parked).
+    DeadOnReuse,
 }
 
 /// Errors from connection operations.

@@ -102,6 +102,17 @@ impl HandshakeConfig {
         }
         transport + tls
     }
+
+    /// Octets a *failed* handshake wastes on the wire: the transport
+    /// handshake (if the fault hit after transport setup) plus the client's
+    /// first crypto flight. The server's heavy flights never arrive, so an
+    /// aborted dial is much cheaper in bytes than a completed one — but it
+    /// still burns the full [`HandshakeConfig::setup_latency`] in wall-clock
+    /// time before the client notices and retries.
+    pub fn aborted_handshake_octets(&self) -> u64 {
+        let transport = if self.quic { 0 } else { TCP_HANDSHAKE_OCTETS };
+        transport + CLIENT_HELLO_OCTETS
+    }
 }
 
 /// TCP SYN, SYN-ACK and ACK segments (40 octets of headers each).
@@ -172,6 +183,19 @@ mod tests {
         assert!(tls12.handshake_octets() > tls13.handshake_octets());
         // QUIC skips the TCP segments but still ships the TLS flights.
         assert_eq!(tls13.handshake_octets() - quic.handshake_octets(), TCP_HANDSHAKE_OCTETS);
+    }
+
+    #[test]
+    fn aborted_handshake_is_cheaper_than_any_completed_one() {
+        for cfg in [
+            HandshakeConfig::default(),
+            HandshakeConfig { version: TlsVersion::Tls12, ..Default::default() },
+            HandshakeConfig { session_resumption: true, ..Default::default() },
+            HandshakeConfig { quic: true, ..Default::default() },
+        ] {
+            assert!(cfg.aborted_handshake_octets() < cfg.handshake_octets(), "{cfg:?}");
+        }
+        assert_eq!(HandshakeConfig::default().aborted_handshake_octets(), TCP_HANDSHAKE_OCTETS + 512);
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl SimRng {
         self.inner.gen::<f64>() < p
     }
 
+    /// `true` with probability `ppm` parts per million. A rate of `0`
+    /// consumes **no** randomness (so processes that are switched off leave
+    /// every other stream untouched); any nonzero rate consumes exactly one
+    /// integer draw. Rates at or above 1 000 000 always fire.
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        self.inner.gen_range(0..1_000_000u32) < ppm
+    }
+
     /// A uniform f64 in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
         self.inner.gen::<f64>()
@@ -180,6 +191,28 @@ mod tests {
         let mut rng = SimRng::new(1);
         assert!(!(0..100).any(|_| rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_ppm_zero_consumes_no_randomness() {
+        let mut with_zero = SimRng::new(17);
+        let mut without = SimRng::new(17);
+        for _ in 0..8 {
+            assert!(!with_zero.chance_ppm(0));
+        }
+        // The zero-rate path must leave the stream exactly where it started.
+        assert_eq!(with_zero.next_u64(), without.next_u64());
+        // Extremes behave like the f64 `chance` counterpart.
+        let mut rng = SimRng::new(17);
+        assert!((0..100).all(|_| rng.chance_ppm(1_000_000)));
+        assert!((0..100).all(|_| rng.chance_ppm(2_000_000)));
+    }
+
+    #[test]
+    fn chance_ppm_tracks_the_rate_roughly() {
+        let mut rng = SimRng::new(23);
+        let hits = (0..20_000).filter(|_| rng.chance_ppm(100_000)).count();
+        assert!((1_400..=2_600).contains(&hits), "hits = {hits}");
     }
 
     #[test]

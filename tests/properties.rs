@@ -2,7 +2,8 @@
 //! classifier invariants.
 
 use connreuse::browser::{
-    Browser, BrowserConfig, ConnectionDurationModel, PoolConfig, UserSession, VisitScratch,
+    Browser, BrowserConfig, ConnectionDurationModel, ConnectionPool, FaultProfile, PoolConfig, UserSession,
+    VisitScratch,
 };
 use connreuse::core::{
     classify_site, Cause, DurationModel, ObservedConnection, ObservedRequest, SiteObservation,
@@ -12,7 +13,7 @@ use connreuse::dns::{LoadBalancePolicy, QueryContext, ResolverId, Vantage};
 use connreuse::experiments::{run_cost, CostConfig, CostReport};
 use connreuse::h2::hpack::HpackContext;
 use connreuse::h2::reuse::{evaluate, ReusePolicy};
-use connreuse::h2::{Connection, Settings};
+use connreuse::h2::{CloseReason, Connection, ConnectionState, Settings};
 use connreuse::tls::{Certificate, CertificateId, CertificateStore, IssuancePolicy, Issuer, SanEntry};
 use connreuse::types::{
     ConnectionId, DomainName, Duration, Instant, IpAddr, Mitigation, MitigationSet, Origin, SimClock, SimRng,
@@ -426,6 +427,122 @@ proptest! {
             "warm sessions opened {warm_opens} connections where cold visits opened {cold_opens} \
              (seed {seed}, pages {pages:?})"
         );
+    }
+
+    /// The pool never lends a stale connection. For any absorbed set, idle
+    /// timeout, lend gap, churn model and dead-on-reuse rate: every
+    /// connection handed to the page is still open within its idle deadline,
+    /// everything else comes back as a closed shell with the right lifecycle
+    /// reason (a server-lifetime close always lands inside the sampler's
+    /// `0.5×..2×`-median window and never after the lend instant), and no
+    /// connection is lost or duplicated on the way through.
+    #[test]
+    fn the_pool_never_lends_past_a_lifecycle_deadline(
+        seed in 0u64..500,
+        count in 1usize..12,
+        idle_secs in 1u64..120,
+        gap_ms in 0u64..300_000,
+        close_ppm in 0u32..1_000_001,
+        median_secs in 1u64..60,
+        dead_ppm in prop_oneof![Just(0u32), Just(250_000u32), Just(1_000_000u32)],
+    ) {
+        let config = PoolConfig { max_connections: 64, idle_timeout: Duration::from_secs(idle_secs) };
+        let mut pool = ConnectionPool::new(config);
+        let mut store = CertificateStore::new();
+        let mut connections: Vec<Connection> = (0..count)
+            .map(|index| {
+                let domain = DomainName::literal(&format!("host-{index}.pool.example"));
+                let ids = store.issue_with_policy(
+                    Issuer::lets_encrypt(),
+                    &IssuancePolicy::SharedSan,
+                    &[domain],
+                    Instant::EPOCH,
+                );
+                Connection::establish(
+                    ConnectionId(index as u64),
+                    Origin::https(domain),
+                    IpAddr::new(10, 9, 0, index as u8),
+                    std::sync::Arc::clone(store.get_arc(ids[0]).unwrap()),
+                    true,
+                    Instant::EPOCH + Duration::from_millis(index as u64),
+                    Settings::default(),
+                )
+            })
+            .collect();
+
+        let absorbed_at = Instant::EPOCH + Duration::from_secs(1);
+        let churn = ConnectionDurationModel::IdleTimeouts {
+            close_probability: close_ppm as f64 / 1_000_000.0,
+            median_lifetime_secs: median_secs,
+        };
+        let mut absorb_shells = Vec::new();
+        let mut rng = SimRng::new(seed);
+        pool.absorb(absorbed_at, &mut connections, &mut absorb_shells, &mut rng, &churn);
+
+        let lent_at = absorbed_at + Duration::from_millis(gap_ms);
+        let faults = FaultProfile { dead_on_reuse_ppm: dead_ppm, ..FaultProfile::default() };
+        let mut live = Vec::new();
+        let mut lend_shells = Vec::new();
+        let dead = pool.lend(lent_at, &mut live, &mut lend_shells, &faults, &mut rng.fork("fault"));
+
+        // Conservation: every absorbed connection is either an absorb-time
+        // churn shell, lent alive, or a lend-time shell — exactly once.
+        prop_assert_eq!(absorb_shells.len() + live.len() + lend_shells.len(), count);
+        let mut ids: Vec<u64> = absorb_shells
+            .iter()
+            .chain(&live)
+            .chain(&lend_shells)
+            .map(|connection| connection.id.0)
+            .collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..count as u64).collect::<Vec<_>>());
+
+        for connection in &live {
+            prop_assert_eq!(connection.state, ConnectionState::Open);
+            prop_assert!(connection.close_reason.is_none());
+            // A lent connection is always within its idle deadline.
+            prop_assert!(lent_at.since(absorbed_at) <= config.idle_timeout);
+        }
+        if gap_ms > idle_secs * 1_000 {
+            prop_assert!(live.is_empty(), "nothing may be lent past the idle deadline");
+        }
+        if dead_ppm == 1_000_000 {
+            prop_assert!(live.is_empty(), "a certain dead-on-reuse draw kills every survivor");
+        }
+
+        for shell in absorb_shells.iter().chain(&lend_shells) {
+            let closed_at = shell.closed_at.expect("every shell records a close time");
+            prop_assert!(closed_at <= lent_at);
+            match shell.close_reason.expect("every shell records a close reason") {
+                CloseReason::ServerLifetime => {
+                    // The sampled expiry is anchored at establishment and
+                    // spread 0.5×..2× the median; a connection is never lent
+                    // at or past it.
+                    let lifetime = closed_at.since(shell.established_at);
+                    prop_assert!(lifetime >= Duration::from_millis(median_secs * 500));
+                    prop_assert!(lifetime <= Duration::from_secs(median_secs * 2));
+                }
+                CloseReason::IdleTimeout => {
+                    prop_assert_eq!(closed_at, absorbed_at + config.idle_timeout);
+                    prop_assert!(lent_at.since(absorbed_at) > config.idle_timeout);
+                }
+                CloseReason::DeadOnReuse => {
+                    prop_assert_eq!(closed_at, lent_at);
+                    prop_assert!(dead_ppm > 0, "0 ppm must never draw a dead connection");
+                }
+                other => prop_assert!(false, "unexpected close reason {other:?}"),
+            }
+        }
+
+        let stats = pool.stats();
+        prop_assert_eq!(stats.inserted, count as u64);
+        prop_assert_eq!(stats.lent, live.len() as u64);
+        prop_assert_eq!(stats.dead_on_reuse, dead);
+        prop_assert_eq!(
+            dead as usize,
+            lend_shells.iter().filter(|s| s.close_reason == Some(CloseReason::DeadOnReuse)).count()
+        );
+        prop_assert_eq!(stats.closed() + stats.lent, stats.inserted);
     }
 
     /// HPACK: the encoded block is never larger than the uncompressed header
