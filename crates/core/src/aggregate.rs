@@ -179,6 +179,48 @@ impl Accumulator {
         self.observed_sites
     }
 
+    /// Export the running counts as a fixed-width word snapshot — the
+    /// serialisation surface the on-disk shard store uses. Round-trips
+    /// exactly through [`Accumulator::from_state`].
+    pub fn state(&self) -> AccumulatorState {
+        let mut cause_sites = [0u64; 3];
+        let mut cause_connections = [0u64; 3];
+        for (index, cause) in self.causes.iter().enumerate() {
+            cause_sites[index] = cause.sites as u64;
+            cause_connections[index] = cause.connections as u64;
+        }
+        AccumulatorState {
+            cause_sites,
+            cause_connections,
+            redundant_sites: self.redundant.sites as u64,
+            redundant_connections: self.redundant.connections as u64,
+            total_sites: self.total.sites as u64,
+            total_connections: self.total.connections as u64,
+            observed_sites: self.observed_sites as u64,
+        }
+    }
+
+    /// Rebuild an accumulator from an exported snapshot.
+    pub fn from_state(state: &AccumulatorState) -> Self {
+        let mut causes = [CauseCounts::default(); 3];
+        for (index, entry) in causes.iter_mut().enumerate() {
+            entry.sites = state.cause_sites[index] as usize;
+            entry.connections = state.cause_connections[index] as usize;
+        }
+        Accumulator {
+            causes,
+            redundant: CauseCounts {
+                sites: state.redundant_sites as usize,
+                connections: state.redundant_connections as usize,
+            },
+            total: CauseCounts {
+                sites: state.total_sites as usize,
+                connections: state.total_connections as usize,
+            },
+            observed_sites: state.observed_sites as usize,
+        }
+    }
+
     /// Finish the stream: the dataset summary under `label`. The per-cause
     /// array is materialised into the table-ordered map here, once, so the
     /// summary (and every report rendered from it) is byte-identical to the
@@ -189,6 +231,66 @@ impl Accumulator {
             causes: Cause::ALL.iter().copied().zip(self.causes).collect(),
             redundant: self.redundant,
             total: self.total,
+        }
+    }
+}
+
+/// The complete internal state of an [`Accumulator`], as plain u64 words.
+///
+/// This is the persistence contract: every counter the accumulator tracks,
+/// nothing derived. [`AccumulatorState::to_words`] /
+/// [`AccumulatorState::from_words`] give the fixed-width little-endian layout
+/// the shard store writes; the field order is frozen — appending is a schema
+/// bump, reordering is forbidden.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumulatorState {
+    /// Sites per cause, in [`Cause::ALL`] order.
+    pub cause_sites: [u64; 3],
+    /// Connections per cause, in [`Cause::ALL`] order.
+    pub cause_connections: [u64; 3],
+    /// Sites with at least one redundant connection.
+    pub redundant_sites: u64,
+    /// Total redundant connections.
+    pub redundant_connections: u64,
+    /// Sites with at least one HTTP/2 connection.
+    pub total_sites: u64,
+    /// Total HTTP/2 connections.
+    pub total_connections: u64,
+    /// Every site observed, including non-HTTP/2 sites.
+    pub observed_sites: u64,
+}
+
+impl AccumulatorState {
+    /// Number of words in the fixed-width layout.
+    pub const WORDS: usize = 11;
+
+    /// The fixed-width word layout (frozen field order).
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        [
+            self.cause_sites[0],
+            self.cause_sites[1],
+            self.cause_sites[2],
+            self.cause_connections[0],
+            self.cause_connections[1],
+            self.cause_connections[2],
+            self.redundant_sites,
+            self.redundant_connections,
+            self.total_sites,
+            self.total_connections,
+            self.observed_sites,
+        ]
+    }
+
+    /// Rebuild from the fixed-width word layout.
+    pub fn from_words(words: &[u64; Self::WORDS]) -> Self {
+        AccumulatorState {
+            cause_sites: [words[0], words[1], words[2]],
+            cause_connections: [words[3], words[4], words[5]],
+            redundant_sites: words[6],
+            redundant_connections: words[7],
+            total_sites: words[8],
+            total_connections: words[9],
+            observed_sites: words[10],
         }
     }
 }
@@ -350,6 +452,45 @@ mod tests {
         let snapshot = acc.clone();
         acc.merge(&Accumulator::new());
         assert_eq!(acc, snapshot);
+    }
+
+    #[test]
+    fn state_round_trips_through_words() {
+        let mut acc = Accumulator::new();
+        acc.observe(&classified("a.com", 5, vec![vec![], vec![Cause::Ip], vec![Cause::Ip, Cause::Cred]]));
+        acc.observe(&classified("b.com", 3, vec![vec![], vec![Cause::Cert]]));
+        acc.observe(&classified("c.com", 0, vec![]));
+
+        let state = acc.state();
+        let rebuilt = Accumulator::from_state(&AccumulatorState::from_words(&state.to_words()));
+        assert_eq!(rebuilt, acc);
+        assert_eq!(rebuilt.observed_sites(), 3);
+        assert_eq!(rebuilt.finish("t"), acc.clone().finish("t"));
+    }
+
+    #[test]
+    fn state_words_cover_every_counter() {
+        // Distinct value per word: a codec that drops or swaps any field
+        // cannot round-trip this state.
+        let words: [u64; AccumulatorState::WORDS] = std::array::from_fn(|index| 1000 + index as u64);
+        let state = AccumulatorState::from_words(&words);
+        assert_eq!(state.to_words(), words);
+        assert_eq!(Accumulator::from_state(&state).state(), state);
+    }
+
+    #[test]
+    fn merged_state_equals_state_of_merge() {
+        let mut left = Accumulator::new();
+        left.observe(&classified("a.com", 2, vec![vec![], vec![Cause::Ip]]));
+        let mut right = Accumulator::new();
+        right.observe(&classified("b.com", 1, vec![vec![Cause::Cert]]));
+
+        // Persist both shards, rebuild, merge: same as merging live.
+        let mut live = left.clone();
+        live.merge(&right);
+        let mut rebuilt = Accumulator::from_state(&left.state());
+        rebuilt.merge(&Accumulator::from_state(&right.state()));
+        assert_eq!(rebuilt, live);
     }
 
     #[test]

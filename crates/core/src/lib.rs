@@ -48,7 +48,7 @@ pub mod observation;
 pub mod overlap;
 pub mod report;
 
-pub use aggregate::{Accumulator, CauseCounts, DatasetSummary, SiteCounts};
+pub use aggregate::{Accumulator, AccumulatorState, CauseCounts, DatasetSummary, SiteCounts};
 pub use classify::{classify_dataset, classify_site, Cause, ClassifiedConnection, SiteClassification};
 pub use fastpath::FastVisitClassifier;
 pub use ingest::{dataset_from_crawl, dataset_from_har, site_from_har_document, site_from_visit};

@@ -120,6 +120,67 @@ impl VisitTimeline {
         self.hedged_dials += other.hedged_dials;
     }
 
+    /// Number of words in the fixed-width persistence layout.
+    pub const WORDS: usize = 22;
+
+    /// The fixed-width word layout the shard store persists. Field order is
+    /// frozen (declaration order); appending a counter is a store schema
+    /// bump, reordering is forbidden.
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        [
+            self.dns_cache_hits,
+            self.dns_recursive_walks,
+            self.dns_authority_queries,
+            self.dns_failures,
+            self.connections_opened,
+            self.connections_reused,
+            self.handshake_rtts,
+            self.handshake_octets,
+            self.handshake_millis,
+            self.loss_retransmit_micros,
+            self.resumed_handshakes,
+            self.cold_cwnd_rtts,
+            self.requests,
+            self.body_octets,
+            self.plt_millis,
+            self.faults_injected,
+            self.retries,
+            self.retry_backoff_millis,
+            self.failed_resources,
+            self.goaways_received,
+            self.dead_on_reuse,
+            self.hedged_dials,
+        ]
+    }
+
+    /// Rebuild from the fixed-width word layout.
+    pub fn from_words(words: &[u64; Self::WORDS]) -> Self {
+        VisitTimeline {
+            dns_cache_hits: words[0],
+            dns_recursive_walks: words[1],
+            dns_authority_queries: words[2],
+            dns_failures: words[3],
+            connections_opened: words[4],
+            connections_reused: words[5],
+            handshake_rtts: words[6],
+            handshake_octets: words[7],
+            handshake_millis: words[8],
+            loss_retransmit_micros: words[9],
+            resumed_handshakes: words[10],
+            cold_cwnd_rtts: words[11],
+            requests: words[12],
+            body_octets: words[13],
+            plt_millis: words[14],
+            faults_injected: words[15],
+            retries: words[16],
+            retry_backoff_millis: words[17],
+            failed_resources: words[18],
+            goaways_received: words[19],
+            dead_on_reuse: words[20],
+            hedged_dials: words[21],
+        }
+    }
+
     /// Total round trips attributable to connection setup: handshakes plus
     /// cold-congestion-window growth.
     pub fn setup_rtts(&self) -> u64 {
@@ -188,5 +249,26 @@ mod tests {
     fn reuse_share_is_the_ride_along_fraction() {
         let timeline = sample(1);
         assert!((timeline.reuse_share() - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_round_trip_and_cover_every_counter() {
+        // Distinct value per word: a codec that drops or swaps any field
+        // cannot round-trip this timeline.
+        let words: [u64; VisitTimeline::WORDS] = std::array::from_fn(|index| 10_000 + index as u64);
+        let timeline = VisitTimeline::from_words(&words);
+        assert_eq!(timeline.to_words(), words);
+
+        let sampled = sample(3);
+        assert_eq!(VisitTimeline::from_words(&sampled.to_words()), sampled);
+    }
+
+    #[test]
+    fn absorbing_decoded_words_equals_absorbing_live() {
+        let mut live = sample(1);
+        live.absorb(&sample(2));
+        let mut decoded = VisitTimeline::from_words(&sample(1).to_words());
+        decoded.absorb(&VisitTimeline::from_words(&sample(2).to_words()));
+        assert_eq!(decoded, live);
     }
 }

@@ -43,6 +43,25 @@ impl CostTotals {
         self.sums.absorb(&other.sums);
     }
 
+    /// Number of words in the fixed-width persistence layout: the visit
+    /// count followed by the [`VisitTimeline`] words.
+    pub const WORDS: usize = 1 + VisitTimeline::WORDS;
+
+    /// The fixed-width word layout the shard store persists.
+    pub fn to_words(&self) -> [u64; Self::WORDS] {
+        let mut words = [0u64; Self::WORDS];
+        words[0] = self.visits;
+        words[1..].copy_from_slice(&self.sums.to_words());
+        words
+    }
+
+    /// Rebuild from the fixed-width word layout.
+    pub fn from_words(words: &[u64; Self::WORDS]) -> Self {
+        let mut timeline = [0u64; VisitTimeline::WORDS];
+        timeline.copy_from_slice(&words[1..]);
+        CostTotals { visits: words[0], sums: VisitTimeline::from_words(&timeline) }
+    }
+
     /// Wall-clock spent in TCP/TLS handshakes under `profile`, including its
     /// loss-retransmission penalty.
     pub fn handshake_time(&self, profile: &LinkProfile) -> Duration {
@@ -145,6 +164,21 @@ mod tests {
         assert_eq!(totals.dns_time(&dc), Duration::from_millis(2 * 30));
         assert_eq!(totals.handshake_time(&dc), Duration::from_millis(2 * 80));
         assert!((totals.mean_plt_millis() - 7_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn words_round_trip_and_price_identically() {
+        let mut totals = CostTotals::new();
+        totals.absorb_visit(&timeline(3));
+        totals.absorb_visit(&timeline(5));
+        let decoded = CostTotals::from_words(&totals.to_words());
+        assert_eq!(decoded, totals);
+        let profile = LinkProfile::lossy_cellular();
+        assert_eq!(decoded.setup_time(&profile), totals.setup_time(&profile));
+
+        // Distinct value per word: dropped or swapped fields cannot pass.
+        let words: [u64; CostTotals::WORDS] = std::array::from_fn(|index| 500 + index as u64);
+        assert_eq!(CostTotals::from_words(&words).to_words(), words);
     }
 
     #[test]

@@ -45,7 +45,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Scheduling telemetry of one [`run_indexed`] call.
 ///
@@ -169,6 +169,131 @@ where
     }
 }
 
+/// Run `tasks` task indices across `threads` workers with work stealing,
+/// **streaming** each `(task_index, result)` pair to `consume` on the caller
+/// thread as soon as it is produced, through a bounded channel of `capacity`
+/// results.
+///
+/// This is the merge-while-crawling variant of [`run_indexed`]: instead of
+/// buffering every result until the run finishes, the caller folds (or
+/// persists) results while the workers are still computing. The channel is a
+/// [`std::sync::mpsc::sync_channel`], so when `consume` falls behind by more
+/// than `capacity` results the **workers block on send** — a slow consumer
+/// applies backpressure to the producers instead of growing an unbounded
+/// buffer.
+///
+/// Results arrive in **completion order**, which is timing-dependent; the
+/// task index accompanies every result so an order-sensitive caller can
+/// fold into index-addressed state (the shard store writes `results[i]` to
+/// shard file `i`, which makes the on-disk outcome schedule-independent).
+/// With `threads <= 1` the executor degenerates to a sequential loop that
+/// calls `consume` inline after every task — completion order *is* task
+/// order, and the channel is skipped entirely.
+///
+/// ```
+/// use connreuse_executor::run_indexed_streaming;
+///
+/// let mut seen = vec![0usize; 20];
+/// let stats = run_indexed_streaming(
+///     4,
+///     20,
+///     2, // at most 2 undelivered results before workers block
+///     |_worker| (),
+///     |(), task| task * task,
+///     |task, square| seen[task] = square,
+/// );
+/// assert_eq!(seen[7], 49);
+/// assert_eq!(stats.executed.iter().sum::<usize>(), 20);
+/// ```
+pub fn run_indexed_streaming<S, R, I, F, C>(
+    threads: usize,
+    tasks: usize,
+    capacity: usize,
+    init: I,
+    run: F,
+    mut consume: C,
+) -> PoolStats
+where
+    S: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let workers = threads.clamp(1, tasks.max(1));
+    if workers <= 1 {
+        let mut state = init(0);
+        for task in 0..tasks {
+            let result = run(&mut state, task);
+            consume(task, result);
+        }
+        return PoolStats { workers: 1, executed: vec![tasks], steals: 0 };
+    }
+
+    let block = tasks.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|worker| {
+            let start = worker * block;
+            let end = tasks.min(start + block);
+            Mutex::new((start..end.max(start)).collect())
+        })
+        .collect();
+    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let steals = AtomicU64::new(0);
+
+    let (sender, receiver) = mpsc::sync_channel::<(usize, R)>(capacity.max(1));
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let deques = &deques;
+            let executed = &executed;
+            let steals = &steals;
+            let init = &init;
+            let run = &run;
+            let sender = sender.clone();
+            scope.spawn(move || {
+                let mut state = init(worker);
+                loop {
+                    let mut task = deques[worker].lock().expect("executor deque poisoned").pop_front();
+                    if task.is_none() {
+                        for offset in 1..workers {
+                            let victim = (worker + offset) % workers;
+                            let stolen = deques[victim].lock().expect("executor deque poisoned").pop_back();
+                            if stolen.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                task = stolen;
+                                break;
+                            }
+                        }
+                    }
+                    let Some(task) = task else { break };
+                    let result = run(&mut state, task);
+                    executed[worker].fetch_add(1, Ordering::Relaxed);
+                    // Blocks while the channel holds `capacity` undelivered
+                    // results: the consumer's pace bounds the producers'.
+                    // Err means the receiver was dropped (consumer panicked);
+                    // stop quietly and let the panic propagate from the
+                    // caller thread.
+                    if sender.send((task, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The workers own clones; dropping the original lets `recv` end once
+        // every worker has finished sending.
+        drop(sender);
+        for (task, result) in receiver.iter() {
+            consume(task, result);
+        }
+    });
+
+    PoolStats {
+        workers,
+        executed: executed.iter().map(|count| count.load(Ordering::Relaxed) as usize).collect(),
+        steals: steals.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +380,86 @@ mod tests {
         let outcome = run_indexed(3, 30, |_| (), |(), task| task);
         assert_eq!(outcome.stats.executed.len(), 3);
         assert_eq!(outcome.stats.executed.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn streaming_delivers_every_result_exactly_once() {
+        for threads in [1, 2, 4, 16] {
+            let mut seen = vec![None; 53];
+            let stats = run_indexed_streaming(
+                threads,
+                53,
+                3,
+                |_| (),
+                |(), task| task * 7,
+                |task, result| {
+                    assert!(seen[task].is_none(), "task {task} delivered twice");
+                    seen[task] = Some(result);
+                },
+            );
+            assert_eq!(stats.executed.iter().sum::<usize>(), 53);
+            for (task, slot) in seen.iter().enumerate() {
+                assert_eq!(*slot, Some(task * 7));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sequential_path_consumes_in_task_order() {
+        let mut order = Vec::new();
+        let stats = run_indexed_streaming(1, 9, 1, |_| (), |(), task| task, |task, _| order.push(task));
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn streaming_folds_to_the_same_totals_as_the_buffered_run() {
+        // Index-addressed fold: completion order must not matter.
+        let buffered: usize = run_indexed(4, 40, |_| (), |(), task| task * task).results.iter().sum();
+        let mut streamed = 0usize;
+        run_indexed_streaming(4, 40, 2, |_| (), |(), task| task * task, |_, result| streamed += result);
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn streaming_slow_consumer_bounds_in_flight_results() {
+        // With capacity 1, at most `workers + 1` results can exist
+        // unconsumed (one in the channel, one finished-but-blocked per
+        // worker). Track the high-water mark of produced-minus-consumed.
+        let produced = AtomicUsize::new(0);
+        let high_water = AtomicUsize::new(0);
+        let mut consumed = 0usize;
+        let workers = 4;
+        run_indexed_streaming(
+            workers,
+            32,
+            1,
+            |_| (),
+            |(), task| {
+                let in_flight = produced.fetch_add(1, Ordering::SeqCst) + 1;
+                high_water.fetch_max(in_flight, Ordering::SeqCst);
+                task
+            },
+            |_, _| {
+                consumed += 1;
+                produced.fetch_sub(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            },
+        );
+        assert_eq!(consumed, 32);
+        // capacity(1) + one blocked send per worker + one mid-run per worker.
+        assert!(
+            high_water.load(Ordering::SeqCst) <= 1 + 2 * workers,
+            "high water {} exceeds the backpressure bound",
+            high_water.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn streaming_zero_tasks_complete_immediately() {
+        let mut calls = 0;
+        let stats = run_indexed_streaming(8, 0, 4, |_| (), |(), task| task, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(stats.workers, 1);
     }
 }

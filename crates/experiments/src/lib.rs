@@ -56,6 +56,7 @@ pub mod profile;
 pub mod render;
 pub mod runner;
 pub mod scenario;
+pub mod store;
 pub mod sweep;
 
 pub use atlas::{run_atlas, run_atlas_partitioned, AtlasConfig, AtlasMetrics, AtlasReport, BenchFile};
@@ -66,4 +67,8 @@ pub use profile::{render_stage_table, ProfileFile, ProfileRecord};
 pub use render::TextTable;
 pub use runner::{run_experiment, ExperimentOutput, EXPERIMENTS};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use store::{
+    answer_in_memory, answer_query, build_store, open_store, run_store, BuildReport, QueryAnswer,
+    StoreConfig, StoreQuery, StoreRunReport,
+};
 pub use sweep::{run_sweep, SweepCell, SweepConfig, SweepReport};

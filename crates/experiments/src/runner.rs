@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 pub const EXPERIMENTS: &[&str] = &[
     "headline", "figure2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
     "table9", "table10", "table11", "table12", "figure3", "filters", "whatif", "sweep", "cost", "atlas",
-    "fleet", "chaos",
+    "fleet", "chaos", "store",
 ];
 
 /// The rendered result of one experiment.
@@ -61,6 +61,7 @@ pub fn run_experiment(name: &str, scenario: &Scenario) -> Result<ExperimentOutpu
         "atlas" => atlas(scenario),
         "fleet" => fleet(scenario),
         "chaos" => chaos(scenario),
+        "store" => store(scenario),
         other => return Err(format!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "))),
     };
     Ok(ExperimentOutput { name: name.to_string(), text })
@@ -695,6 +696,12 @@ fn fleet(scenario: &Scenario) -> String {
 /// hedged dials buy back.
 fn chaos(scenario: &Scenario) -> String {
     crate::chaos::run_chaos(&crate::chaos::ChaosConfig::from_scenario(&scenario.config)).render()
+}
+
+/// The persistent shard store: build a demo store, answer the demo what-if
+/// queries from disk, render both.
+fn store(scenario: &Scenario) -> String {
+    crate::store::run_store_demo(&crate::store::StoreConfig::from_scenario(&scenario.config))
 }
 
 #[cfg(test)]

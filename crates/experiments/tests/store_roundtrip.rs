@@ -1,0 +1,234 @@
+//! The persistence contract of the shard store, end to end:
+//!
+//! * **Round trip** — answers folded from persisted shards are byte-identical
+//!   to the equivalent in-memory atlas+cost computation, for arbitrary
+//!   store shapes (proptest).
+//! * **Incremental recrawl** — growing the population dirties only the new
+//!   and resized chunks, and the refreshed store equals a from-scratch
+//!   rebuild byte-for-byte.
+//! * **Corruption** — truncation, bit flips and fingerprint tampering are
+//!   refused with the matching typed [`StoreError`], never served.
+
+use connreuse_experiments::store::{
+    answer_in_memory, answer_query, build_store, open_store, run_store, StoreConfig, StoreQuery,
+};
+use netsim_store::{BuildPlan, ShardStore, StoreError, StoreLayout, MANIFEST_FILE};
+use netsim_types::{fnv1a, MitigationSet};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("store-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny(sites: usize, chunk_sites: usize, seed: u64, threads: usize) -> StoreConfig {
+    StoreConfig {
+        sites,
+        chunk_sites,
+        seed,
+        threads,
+        mitigations: StoreConfig::demo_mitigations(),
+        ..StoreConfig::default()
+    }
+}
+
+/// Read every byte of a store directory, keyed by file name.
+fn store_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files =
+        vec![(MANIFEST_FILE.to_string(), std::fs::read(dir.join(MANIFEST_FILE)).expect("manifest"))];
+    let mut shards: Vec<_> = std::fs::read_dir(dir.join("shards"))
+        .expect("shards dir")
+        .map(|entry| entry.expect("entry").file_name().to_string_lossy().to_string())
+        .collect();
+    shards.sort();
+    for name in shards {
+        files.push((name.clone(), std::fs::read(dir.join("shards").join(name)).expect("shard")));
+    }
+    files
+}
+
+proptest! {
+    /// The store is a cache, never an approximation: for arbitrary
+    /// population sizes, chunk sizes, seeds and thread counts, every demo
+    /// query answered from disk must equal — struct and rendered bytes —
+    /// the same query computed in memory.
+    #[test]
+    fn persisted_answers_equal_the_in_memory_computation(
+        sites in 12usize..40,
+        chunk_sites in 5usize..20,
+        seed in 0u64..100,
+        threads in 1usize..5,
+    ) {
+        let config = tiny(sites, chunk_sites, seed, threads);
+        let dir = temp_store(&format!("prop-{sites}-{chunk_sites}-{seed}-{threads}"));
+        let queries = config.demo_queries();
+        let report = run_store(&config, &dir, &queries).expect("build");
+        prop_assert_eq!(report.build.rewritten, config.chunks().len());
+        for (query, stored) in queries.iter().zip(&report.answers) {
+            let computed = answer_in_memory(&config, query).expect("in-memory");
+            prop_assert_eq!(stored, &computed);
+            prop_assert_eq!(stored.render(&config), computed.render(&config));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Growing the population appends chunks: the incremental refresh rewrites
+/// only the new (and resized-final) chunks, and the resulting directory is
+/// byte-identical to building the grown configuration from scratch.
+#[test]
+fn incremental_growth_equals_a_full_rebuild() {
+    let small = tiny(20, 8, 5, 2); // chunks: (0,8) (8,8) (16,4)
+    let grown = StoreConfig { sites: 40, ..small.clone() }; // (0,8) (8,8) (16,8) (24,8) (32,8)
+    assert_eq!(small.fingerprint(), grown.fingerprint(), "growth must not change the fingerprint");
+
+    let dir_grown = temp_store("grow-incremental");
+    let dir_fresh = temp_store("grow-fresh");
+    build_store(&small, &dir_grown).expect("small build");
+
+    // The incremental refresh keeps the two full chunks and recrawls the
+    // resized third plus the two new ones.
+    let refresh = build_store(&grown, &dir_grown).expect("incremental build");
+    assert_eq!(refresh.reused, 2);
+    assert_eq!(refresh.rewritten, 3);
+
+    build_store(&grown, &dir_fresh).expect("fresh build");
+    assert_eq!(store_bytes(&dir_grown), store_bytes(&dir_fresh));
+
+    // And the grown store answers exactly like the in-memory computation.
+    let store = open_store(&grown, &dir_grown).expect("open");
+    let query = StoreQuery { mitigations: MitigationSet::all(), profile_index: 2, lo: 0, hi: 40 };
+    assert_eq!(
+        answer_query(&store, &grown, &query).expect("stored answer"),
+        answer_in_memory(&grown, &query).expect("in-memory answer")
+    );
+
+    std::fs::remove_dir_all(&dir_grown).unwrap();
+    std::fs::remove_dir_all(&dir_fresh).unwrap();
+}
+
+/// A second build over the same configuration is a no-op: zero shards
+/// rewritten, bytes untouched.
+#[test]
+fn rebuilding_an_up_to_date_store_rewrites_nothing() {
+    let config = tiny(18, 6, 9, 2);
+    let dir = temp_store("idempotent");
+    build_store(&config, &dir).expect("first build");
+    let before = store_bytes(&dir);
+    let again = build_store(&config, &dir).expect("second build");
+    assert_eq!(again.rewritten, 0);
+    assert_eq!(again.reused, 3);
+    assert_eq!(store_bytes(&dir), before, "an idempotent rebuild must not touch a byte");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Every corruption mode gets its typed refusal, and the build planner
+/// schedules exactly the damaged chunk for recrawl.
+#[test]
+fn corruption_is_refused_with_typed_errors_and_repaired_incrementally() {
+    let config = tiny(18, 6, 3, 2);
+    let dir = temp_store("corruption");
+    build_store(&config, &dir).expect("build");
+    let victim = dir.join("shards").join("chunk-000001.shard");
+    let pristine = std::fs::read(&victim).expect("read shard");
+    let store = ShardStore::open(&dir).expect("open");
+
+    // Truncation: the header promises more bytes than the file holds. The
+    // manifest's per-file checksum catches it first on the read path; the
+    // format decoder names the precise failure.
+    std::fs::write(&victim, &pristine[..pristine.len() - 9]).unwrap();
+    assert!(matches!(store.read_chunk(1), Err(StoreError::ChecksumMismatch { .. })));
+    let truncated =
+        netsim_store::ShardFile::decode("chunk-000001.shard", &pristine[..pristine.len() - 9], None);
+    assert!(matches!(truncated, Err(StoreError::Truncated { .. })));
+
+    // Bit flip: length intact, checksum broken.
+    let mut flipped = pristine.clone();
+    let middle = flipped.len() / 2;
+    flipped[middle] ^= 0x40;
+    std::fs::write(&victim, &flipped).unwrap();
+    assert!(matches!(store.read_chunk(1), Err(StoreError::ChecksumMismatch { .. })));
+
+    // Fingerprint tamper with a re-sealed checksum: the file is internally
+    // consistent but belongs to a different configuration. (The manifest
+    // pins per-file checksums, so the re-sealed file must also dodge that
+    // check to reach the fingerprint comparison — decode it directly.)
+    let mut foreign = pristine.clone();
+    foreign[16] ^= 0xff; // fingerprint is header word 1, after the magic and schema
+    let body = foreign.len() - 8;
+    let reseal = fnv1a(&foreign[..body]).to_le_bytes();
+    foreign[body..].copy_from_slice(&reseal);
+    std::fs::write(&victim, &foreign).unwrap();
+    assert!(matches!(store.read_chunk(1), Err(StoreError::ChecksumMismatch { .. })));
+    let decoded = netsim_store::ShardFile::decode("chunk-000001.shard", &foreign, Some(config.fingerprint()));
+    assert!(matches!(decoded, Err(StoreError::FingerprintMismatch { .. })));
+
+    // The planner marks only the damaged chunk dirty, and the refresh
+    // repairs it back to the pristine bytes.
+    let plan = BuildPlan::assess(&dir, &config.layout()).expect("assess");
+    assert_eq!(plan.dirty, vec![1]);
+    assert_eq!(plan.clean, vec![0, 2]);
+    let repair = build_store(&config, &dir).expect("repair build");
+    assert_eq!(repair.rewritten, 1);
+    assert_eq!(std::fs::read(&victim).expect("repaired shard"), pristine);
+
+    // A missing shard behind an intact manifest is refused too.
+    std::fs::remove_file(&victim).unwrap();
+    assert!(matches!(store.read_chunk(1), Err(StoreError::Missing { .. })));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A store built under one configuration refuses to serve another.
+#[test]
+fn foreign_fingerprints_do_not_open() {
+    let config = tiny(12, 6, 21, 1);
+    let dir = temp_store("foreign");
+    build_store(&config, &dir).expect("build");
+    let other_seed = StoreConfig { seed: 22, ..config.clone() };
+    let error = open_store(&other_seed, &dir).expect_err("must refuse");
+    assert!(matches!(error, StoreError::FingerprintMismatch { .. }), "{error:?}");
+
+    // Dropping a stored deployment changes the fingerprint too: shard
+    // record layouts are part of the configuration.
+    let fewer = StoreConfig { mitigations: vec![MitigationSet::empty()], ..config.clone() };
+    assert!(open_store(&fewer, &dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Deleting the manifest makes the store unopenable (an interrupted build),
+/// while the shards still allow a cheap incremental recovery.
+#[test]
+fn a_store_without_a_manifest_recovers_incrementally() {
+    let config = tiny(12, 4, 2, 2);
+    let dir = temp_store("no-manifest");
+    build_store(&config, &dir).expect("build");
+    std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+    assert!(matches!(open_store(&config, &dir), Err(StoreError::Missing { .. })));
+
+    // Recovery re-validates the shards without recrawling a single site.
+    let recovered = build_store(&config, &dir).expect("recovery");
+    assert_eq!(recovered.rewritten, 0);
+    assert_eq!(recovered.reused, 3);
+    assert!(open_store(&config, &dir).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Stale shard files from a larger, abandoned layout are deleted by the
+/// next build and reported.
+#[test]
+fn shrinking_the_population_removes_stale_shards() {
+    let big = tiny(24, 6, 4, 2);
+    let small = StoreConfig { sites: 12, ..big.clone() };
+    let dir = temp_store("shrink");
+    build_store(&big, &dir).expect("big build");
+    let report = build_store(&small, &dir).expect("small build");
+    assert_eq!(report.rewritten, 0);
+    assert_eq!(report.reused, 2);
+    assert_eq!(report.removed, 2);
+    assert!(!StoreLayout::shard_path(&dir, 2).exists());
+    assert!(!StoreLayout::shard_path(&dir, 3).exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,161 @@
+//! Typed failures of the shard store.
+//!
+//! Every way a persisted store can disappoint a reader gets its own variant,
+//! so callers (and the `connreuse-serve` bin, which maps any [`StoreError`]
+//! to exit status 1) can say *what* is wrong with the artifact instead of
+//! "could not load store". Corruption variants carry the offending path;
+//! mismatch variants carry both sides of the disagreement.
+
+use netsim_types::Fingerprint;
+
+/// Everything that can go wrong opening, reading or building a shard store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// A required file (manifest or shard) does not exist.
+    Missing {
+        /// The absent path.
+        path: String,
+    },
+    /// A shard file is shorter (or longer) than its header promises.
+    Truncated {
+        /// The offending shard path.
+        path: String,
+        /// Bytes the header-derived layout requires.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The first eight bytes are not the shard magic.
+    BadMagic {
+        /// The offending shard path.
+        path: String,
+    },
+    /// The shard was written under a different format schema.
+    SchemaMismatch {
+        /// The offending shard path.
+        path: String,
+        /// Schema the file carries.
+        found: u64,
+        /// Schema this reader understands.
+        expected: u64,
+    },
+    /// The shard's fixed record width disagrees with this build's layout —
+    /// a counter was added or removed without a schema bump.
+    RecordWidthMismatch {
+        /// The offending shard path.
+        path: String,
+        /// Words per record the file carries.
+        found: u64,
+        /// Words per record this reader expects.
+        expected: u64,
+    },
+    /// The trailing FNV-1a checksum does not cover the bytes on disk.
+    ChecksumMismatch {
+        /// The offending shard path.
+        path: String,
+    },
+    /// The artifact was produced under a different configuration.
+    FingerprintMismatch {
+        /// Fingerprint the artifact carries.
+        found: u64,
+        /// Fingerprint of the configuration being served.
+        expected: u64,
+    },
+    /// The manifest exists but cannot be parsed, or its schema is foreign.
+    ManifestCorrupt {
+        /// The manifest path.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A decoded shard disagrees with the layout the store promises
+    /// (chunk bounds, record keys or chunk index off).
+    LayoutMismatch {
+        /// The offending shard path.
+        path: String,
+        /// What disagrees.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "io error at {path}: {message}"),
+            StoreError::Missing { path } => write!(f, "missing file: {path}"),
+            StoreError::Truncated { path, expected, found } => {
+                write!(f, "truncated shard {path}: expected {expected} bytes, found {found}")
+            }
+            StoreError::BadMagic { path } => write!(f, "not a shard file (bad magic): {path}"),
+            StoreError::SchemaMismatch { path, found, expected } => {
+                write!(f, "shard {path} has schema {found}, this reader expects {expected}")
+            }
+            StoreError::RecordWidthMismatch { path, found, expected } => {
+                write!(f, "shard {path} has {found}-word records, this reader expects {expected}")
+            }
+            StoreError::ChecksumMismatch { path } => {
+                write!(f, "checksum mismatch in shard {path} (corrupt bytes)")
+            }
+            StoreError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "store was built under config fingerprint {}, asked to serve {} — rebuild with \
+                 --build or point at the matching store",
+                Fingerprint::from_value(*found),
+                Fingerprint::from_value(*expected),
+            ),
+            StoreError::ManifestCorrupt { path, message } => {
+                write!(f, "corrupt manifest {path}: {message}")
+            }
+            StoreError::LayoutMismatch { path, message } => {
+                write!(f, "shard {path} does not match the store layout: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Wrap an [`std::io::Error`] with the path it struck.
+    pub fn io(path: &std::path::Path, error: std::io::Error) -> Self {
+        if error.kind() == std::io::ErrorKind::NotFound {
+            StoreError::Missing { path: path.display().to_string() }
+        } else {
+            StoreError::Io { path: path.display().to_string(), message: error.to_string() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_artifact_and_the_disagreement() {
+        let error = StoreError::FingerprintMismatch { found: 1, expected: 2 };
+        let text = error.to_string();
+        assert!(text.contains("0000000000000001"));
+        assert!(text.contains("0000000000000002"));
+
+        let truncated =
+            StoreError::Truncated { path: "shards/chunk-000001.shard".into(), expected: 400, found: 10 };
+        assert!(truncated.to_string().contains("chunk-000001"));
+        assert!(truncated.to_string().contains("400"));
+    }
+
+    #[test]
+    fn not_found_maps_to_missing() {
+        let error = std::io::Error::from(std::io::ErrorKind::NotFound);
+        assert_eq!(
+            StoreError::io(std::path::Path::new("x"), error),
+            StoreError::Missing { path: "x".to_string() }
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! The store manifest: the commit point of a build.
+//!
+//! `MANIFEST.json` is written **last**, after every shard file it names is on
+//! disk — a store with shards but no manifest is an interrupted build, and
+//! [`crate::ShardStore::open`] refuses it with
+//! [`crate::StoreError::Missing`]. The manifest names the configuration
+//! fingerprint, the chunk layout and each shard's checksum, so a reader can
+//! cross-check every shard it loads without trusting file names.
+//!
+//! JSON (not the binary word format) on purpose: the manifest is the one
+//! artifact operators read and diff by hand. The vendored `serde_json`
+//! round-trips u64 exactly, so checksums and fingerprints survive verbatim.
+
+use crate::error::StoreError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Manifest format version.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// One record key every shard carries, in record order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestKey {
+    /// The mitigation set's bit pattern.
+    pub mitigation_bits: u64,
+    /// Index into the store's link-profile list.
+    pub profile_index: u64,
+}
+
+/// One chunk's entry: where its shard lives and what it must hash to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestChunk {
+    /// Chunk index in the layout.
+    pub index: u64,
+    /// Global rank of the chunk's first site.
+    pub start: u64,
+    /// Sites in the chunk.
+    pub len: u64,
+    /// Shard file name, relative to the store's `shards/` directory.
+    pub file: String,
+    /// FNV-1a checksum of the shard file's bytes (trailer word included).
+    pub checksum: u64,
+}
+
+/// The persisted description of a complete store.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub schema: u32,
+    /// Configuration fingerprint every shard must carry.
+    pub fingerprint: u64,
+    /// Total sites across all chunks.
+    pub sites: u64,
+    /// Record keys every shard stores, in record order.
+    pub keys: Vec<ManifestKey>,
+    /// One entry per chunk, in chunk order.
+    pub chunks: Vec<ManifestChunk>,
+}
+
+impl Manifest {
+    /// The manifest's path inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Load and validate the manifest from a store directory.
+    pub fn load(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = Manifest::path(dir);
+        let text = std::fs::read_to_string(&path).map_err(|error| StoreError::io(&path, error))?;
+        let manifest: Manifest = serde_json::from_str(&text).map_err(|error| {
+            StoreError::ManifestCorrupt { path: path.display().to_string(), message: format!("{error:?}") }
+        })?;
+        if manifest.schema != MANIFEST_SCHEMA {
+            return Err(StoreError::ManifestCorrupt {
+                path: path.display().to_string(),
+                message: format!("schema {} (this reader expects {MANIFEST_SCHEMA})", manifest.schema),
+            });
+        }
+        let counted: u64 = manifest.chunks.iter().map(|chunk| chunk.len).sum();
+        if counted != manifest.sites {
+            return Err(StoreError::ManifestCorrupt {
+                path: path.display().to_string(),
+                message: format!("chunk lengths sum to {counted}, sites field says {}", manifest.sites),
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Write the manifest atomically (temp file + rename), as the final step
+    /// of a build.
+    pub fn write(&self, dir: &Path) -> Result<(), StoreError> {
+        let path = Manifest::path(dir);
+        let json = serde_json::to_string_pretty(self).map_err(|error| StoreError::ManifestCorrupt {
+            path: path.display().to_string(),
+            message: format!("{error:?}"),
+        })?;
+        let temp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&temp, format!("{json}\n")).map_err(|error| StoreError::io(&temp, error))?;
+        std::fs::rename(&temp, &path).map_err(|error| StoreError::io(&path, error))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            schema: MANIFEST_SCHEMA,
+            fingerprint: u64::MAX - 5,
+            sites: 120,
+            keys: vec![
+                ManifestKey { mitigation_bits: 0, profile_index: 0 },
+                ManifestKey { mitigation_bits: 15, profile_index: 2 },
+            ],
+            chunks: vec![
+                ManifestChunk { index: 0, start: 0, len: 80, file: "chunk-000000.shard".into(), checksum: 7 },
+                ManifestChunk {
+                    index: 1,
+                    start: 80,
+                    len: 40,
+                    file: "chunk-000001.shard".into(),
+                    checksum: u64::MAX,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk_with_full_u64_precision() {
+        let dir = std::env::temp_dir().join(format!("connreuse-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = sample();
+        manifest.write(&dir).unwrap();
+        let loaded = Manifest::load(&dir).unwrap();
+        assert_eq!(loaded, manifest);
+        assert_eq!(loaded.chunks[1].checksum, u64::MAX);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("connreuse-manifest-none-{}", std::process::id()));
+        let error = Manifest::load(&dir).unwrap_err();
+        assert!(matches!(error, StoreError::Missing { .. }), "{error:?}");
+    }
+
+    #[test]
+    fn garbage_and_foreign_schema_are_corrupt() {
+        let dir = std::env::temp_dir().join(format!("connreuse-manifest-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Manifest::path(&dir), "{ not json").unwrap();
+        assert!(matches!(Manifest::load(&dir).unwrap_err(), StoreError::ManifestCorrupt { .. }));
+
+        let mut foreign = sample();
+        foreign.schema = MANIFEST_SCHEMA + 1;
+        foreign.write(&dir).unwrap();
+        assert!(matches!(Manifest::load(&dir).unwrap_err(), StoreError::ManifestCorrupt { .. }));
+
+        let mut inconsistent = sample();
+        inconsistent.sites = 9_999;
+        inconsistent.write(&dir).unwrap();
+        assert!(matches!(Manifest::load(&dir).unwrap_err(), StoreError::ManifestCorrupt { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

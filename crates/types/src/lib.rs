@@ -17,6 +17,7 @@
 //! compiled to nothing by default.
 
 pub mod domain;
+pub mod fingerprint;
 pub mod hash;
 pub mod id;
 pub mod intern;
@@ -28,6 +29,7 @@ pub mod rng;
 pub mod time;
 
 pub use domain::{DomainError, DomainName};
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use hash::{fnv1a, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use id::{ConnectionId, IdAllocator, PageId, RequestId, SiteId};
 pub use intern::{interned_domain_count, interned_domain_octets, DomainId};

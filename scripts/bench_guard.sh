@@ -8,7 +8,9 @@
 # Defaults: BENCH_atlas.json (the committed baseline) vs
 # ci-artifacts/BENCH_atlas.json (what the CI atlas smoke step just wrote).
 # Both files are schema-2 `BenchFile`s holding one record per run; legacy
-# schema-1 single-record files parse the same way. Records are paired by
+# schema-1 single-record files parse the same way. A baseline with a *newer*
+# schema than the guard understands makes it skip with a note (exit 0)
+# rather than fail opaquely mid-extraction. Records are paired by
 # *role*, not by exact thread count (CI runners and the baseline machine
 # rarely agree on core counts):
 #
@@ -57,6 +59,19 @@ for file in "$baseline" "$fresh"; do
         exit 1
     fi
 done
+
+# A baseline written by a *newer* tool than this guard understands would
+# push garbage through the field extraction below and fail with an opaque
+# "could not extract" error. Detect the schema bump up front and skip
+# cleanly instead: the guard is the thing that is out of date, not the run.
+known_schema=2
+baseline_schema=$(sed -e 's/,/\n/g' -e 's/[{}]/\n/g' "$baseline" | awk '
+    /"schema"[[:space:]]*:/ { value = $0; gsub(/[^0-9]/, "", value); print value; exit }')
+if [ -n "$baseline_schema" ] && [ "$baseline_schema" -gt "$known_schema" ]; then
+    echo "bench guard: $baseline carries schema $baseline_schema, newer than schema $known_schema this guard understands"
+    echo "bench guard: skipping the comparison — teach scripts/bench_guard.sh the new schema to re-enable it"
+    exit 0
+fi
 
 # Emit one line per record: "<threads> <available_cores> <sites_per_second>".
 # Field order inside a record is fixed by the serializer (threads and

@@ -39,6 +39,7 @@ pub use netsim_dns as dns;
 pub use netsim_fetch as fetch;
 pub use netsim_h2 as h2;
 pub use netsim_har as har;
+pub use netsim_store as store;
 pub use netsim_tls as tls;
 pub use netsim_types as types;
 pub use netsim_web as web;

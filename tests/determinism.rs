@@ -5,7 +5,8 @@
 //! wall-clock time, thread interleavings), this test catches it.
 
 use connreuse::experiments::{
-    run_atlas, run_cost, run_fleet, AtlasConfig, CostConfig, FleetConfig, Scenario, ScenarioConfig,
+    run_atlas, run_cost, run_fleet, run_store, AtlasConfig, CostConfig, FleetConfig, Scenario,
+    ScenarioConfig, StoreConfig,
 };
 use connreuse::prelude::*;
 use connreuse::quick_analysis;
@@ -158,4 +159,48 @@ fn sweep_reports_are_thread_count_invariant() {
     // And the sweep itself is seed-sensitive like every other pipeline.
     let other_seed = run_sweep(&SweepConfig { sites: 40, seed: 12, threads: 8 });
     assert_ne!(sequential.cells, other_seed.cells);
+}
+
+/// The shard store extends the determinism contract to disk: building the
+/// same configuration at different thread counts (and channel bounds) must
+/// produce **byte-identical store directories**, and the answers folded from
+/// them must render byte-identically too.
+#[test]
+fn store_directories_are_thread_count_invariant() {
+    let base = StoreConfig {
+        sites: 30,
+        chunk_sites: 10,
+        seed: 11,
+        threads: 1,
+        mitigations: StoreConfig::demo_mitigations(),
+        ..StoreConfig::default()
+    };
+    let dir_serial = std::env::temp_dir().join(format!("connreuse-det-store-1-{}", std::process::id()));
+    let dir_parallel = std::env::temp_dir().join(format!("connreuse-det-store-8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_serial);
+    let _ = std::fs::remove_dir_all(&dir_parallel);
+
+    let queries = base.demo_queries();
+    let sequential = run_store(&base, &dir_serial, &queries).expect("serial build");
+    let parallel =
+        run_store(&StoreConfig { threads: 8, channel_capacity: 1, ..base.clone() }, &dir_parallel, &queries)
+            .expect("parallel build");
+
+    for entry in std::fs::read_dir(dir_serial.join("shards")).expect("shards dir") {
+        let name = entry.expect("entry").file_name();
+        let a = std::fs::read(dir_serial.join("shards").join(&name)).expect("serial shard");
+        let b = std::fs::read(dir_parallel.join("shards").join(&name)).expect("parallel shard");
+        assert_eq!(a, b, "shard {name:?} bytes differ between thread counts");
+    }
+    let a = std::fs::read(dir_serial.join("MANIFEST.json")).expect("serial manifest");
+    let b = std::fs::read(dir_parallel.join("MANIFEST.json")).expect("parallel manifest");
+    assert_eq!(a, b, "manifest bytes differ between thread counts");
+
+    for (answer_a, answer_b) in sequential.answers.iter().zip(&parallel.answers) {
+        assert_eq!(answer_a, answer_b);
+        assert_eq!(answer_a.render(&base), answer_b.render(&base));
+    }
+
+    std::fs::remove_dir_all(&dir_serial).unwrap();
+    std::fs::remove_dir_all(&dir_parallel).unwrap();
 }
